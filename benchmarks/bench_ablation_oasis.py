@@ -1,0 +1,74 @@
+"""Ablation: the value of OASIS's individual design choices.
+
+Not a paper figure — this quantifies the design decisions DESIGN.md calls
+out, by disabling one OASIS mechanism at a time:
+
+* ``no explicit resets`` — drop the kernel-launch PF-count reset
+  (explicit-phase detection, Section V-D); phase-heavy apps must then rely
+  on the implicit 8-fault self-correction alone.
+* ``no private filter`` — forward *every* fault to the O-Table instead of
+  serving host-resident first touches with default on-touch; private
+  objects then get mislearned policies.
+"""
+
+from benchmarks.conftest import bench_apps
+from repro.config import baseline_config
+from repro.harness import geomean, run_sim
+
+#: Apps where each mechanism matters most (kept small; full list via
+#: REPRO_BENCH_APPS).
+DEFAULT_ABLATION_APPS = ["c2d", "mm", "i2c", "st", "lenet"]
+
+
+def _geomean_speedup(config, apps, **oasis_kwargs):
+    speeds = []
+    for app in apps:
+        base = run_sim(config, app, "on_touch")
+        result = run_sim(config, app, "oasis", **oasis_kwargs)
+        speeds.append(result.speedup_over(base))
+    return geomean(speeds)
+
+
+def test_ablation_design_choices(benchmark):
+    apps = bench_apps() or DEFAULT_ABLATION_APPS
+    config = baseline_config()
+
+    def run_ablations():
+        return {
+            "full": _geomean_speedup(config, apps),
+            "no_explicit_resets": _geomean_speedup(
+                config, apps, explicit_resets=False
+            ),
+            "no_private_filter": _geomean_speedup(
+                config, apps, private_filter=False
+            ),
+        }
+
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    print("\nOASIS ablation (geomean speedup over on-touch):")
+    for name, value in results.items():
+        print(f"  {name:<22s} {value:.3f}")
+
+    # Each mechanism must not hurt, and the private filter must help.
+    assert results["full"] >= results["no_private_filter"] * 0.999
+    assert results["full"] >= results["no_explicit_resets"] * 0.98
+    assert results["full"] > 1.0
+
+
+def test_ablation_otable_capacity(benchmark):
+    """Shrinking the O-Table below the per-phase live-object count forces
+    LRU re-learning; 16 entries (the paper's choice) should be enough."""
+    apps = bench_apps() or ["lenet", "c2d"]
+
+    def run_capacities():
+        out = {}
+        for entries in (2, 16):
+            config = baseline_config(otable_entries=entries)
+            out[entries] = _geomean_speedup(config, apps)
+        return out
+
+    results = benchmark.pedantic(run_capacities, rounds=1, iterations=1)
+    print("\nO-Table capacity ablation (geomean speedup):")
+    for entries, value in results.items():
+        print(f"  {entries:>3d} entries: {value:.3f}")
+    assert results[16] >= results[2] * 0.98

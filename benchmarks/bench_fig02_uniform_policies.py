@@ -1,0 +1,41 @@
+"""Fig. 2 — performance of uniform page-management policies vs on-touch.
+
+Paper shape: no single policy wins everywhere; Ideal bounds everything;
+duplication wins the read-shared apps (MM, MT) while the counter policy
+wins the write-shared/random apps (BFS, ST).
+"""
+
+from benchmarks.conftest import bench_apps, column
+
+
+def test_fig2_uniform_policies(experiment):
+    result = experiment("fig2")
+    rows = result.row_dict()
+    ideal = column(result, "ideal")
+    counter = column(result, "access_counter")
+    dup = column(result, "duplication")
+    # Ideal bounds every uniform policy on every app.
+    for app, row in rows.items():
+        if app == "geomean":
+            continue
+        assert row[ideal] >= row[counter] - 1e-9, app
+        assert row[ideal] >= row[dup] - 1e-9, app
+    if bench_apps() is None:
+        # Per-app winners match the paper's characterization.
+        assert rows["mm"][dup] > rows["mm"][counter]
+        assert rows["mt"][dup] > rows["mt"][counter]
+        assert rows["st"][counter] > rows["st"][dup]
+        assert rows["bfs"][counter] > rows["bfs"][dup]
+        # I2C: on-touch (1.0) is the best realizable policy.
+        assert rows["i2c"][counter] < 1.0
+        # No universal winner (Observation 1): the counter policy loses
+        # apps outright, and duplication is beaten by the counter policy
+        # elsewhere.  (Deviation from the paper noted in EXPERIMENTS.md:
+        # in this substrate duplication never drops below the on-touch
+        # baseline itself, but it is still not universally best.)
+        assert any(
+            r[counter] < 1.0 for a, r in rows.items() if a != "geomean"
+        )
+        assert any(
+            r[counter] > r[dup] for a, r in rows.items() if a != "geomean"
+        )

@@ -1,0 +1,18 @@
+"""Fig. 3 — distribution of object sizes across the applications.
+
+Paper shape: the smallest objects are a single 4 KB page, but most
+objects span many pages (which is what makes object-granularity tracking
+so much cheaper than page granularity).
+"""
+
+
+def test_fig3_object_size_distribution(experiment):
+    result = experiment("fig3")
+    buckets = {row[0]: row[1] for row in result.rows}
+    total = sum(buckets.values())
+    assert total > 0
+    # Most objects span multiple pages.
+    multi_page = total - buckets.get("<=1", 0)
+    assert multi_page / total > 0.5
+    # And a meaningful tail of large objects exists.
+    assert buckets.get(">1024", 0) > 0

@@ -1,0 +1,16 @@
+"""Fig. 4 — MT page access patterns over pages and over time.
+
+Paper shape: the first ~half of MT's pages (MT_Input) are entirely
+read-only, the next half (MT_Output) entirely write-only, and both stay
+stable across all eight execution intervals.
+"""
+
+
+def test_fig4_mt_page_patterns(experiment):
+    result = experiment("fig4")
+    rows = result.row_dict()
+    assert rows["MT_Input"][2] == "shared-read-only"
+    assert rows["MT_Output"][2] == "private-write-only"
+    # Interval labels: input never writes, output never reads.
+    assert "wr" not in rows["MT_Input"][3]
+    assert "re" not in rows["MT_Output"][3]

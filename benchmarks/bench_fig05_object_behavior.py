@@ -1,0 +1,22 @@
+"""Fig. 5 — object behaviour and access shares for I2C, MM and ST.
+
+Paper shape: I2C_Output is a private object with ~75% of I2C's accesses;
+MM_A/MM_B are shared-read-only with ~80% of MM's accesses; ST's two data
+objects are shared-rw-mix.
+"""
+
+
+def test_fig5_object_behavior(experiment):
+    result = experiment("fig5")
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    assert rows[("i2c", "I2C_Output")][2] == "private-rw-mix"
+    assert rows[("i2c", "I2C_Output")][4] > 60  # % accesses, paper ~75
+
+    assert rows[("mm", "MM_A")][2] == "shared-read-only"
+    assert rows[("mm", "MM_B")][2] == "shared-read-only"
+    ab_share = rows[("mm", "MM_A")][4] + rows[("mm", "MM_B")][4]
+    assert ab_share > 70  # paper ~80
+
+    assert rows[("st", "ST_currData")][2] == "shared-rw-mix"
+    assert rows[("st", "ST_newData")][2] == "shared-rw-mix"

@@ -1,0 +1,23 @@
+"""Fig. 6 — C2D object access patterns across explicit phases.
+
+Paper shape: intermediate objects (Im2col_Output, GEMM_Output) are
+shared-rw-mix over the whole execution but private with clean read-only /
+write-only roles inside each phase.
+"""
+
+
+def test_fig6_c2d_phase_patterns(experiment):
+    result = experiment("fig6")
+    rows = result.row_dict()
+    for name in ("Im2col_Output", "GEMM_Output"):
+        row = rows[name]
+        assert row[1] == "shared-rw-mix", name  # overall
+        phase_labels = [c for c in row[2:] if c != "-"]
+        assert phase_labels, name
+        # Within each phase the object is private and single-role.
+        for label in phase_labels:
+            assert label.startswith("private-"), (name, label)
+            assert label.endswith(("read-only", "write-only")), (name, label)
+    # Weights are broadcast-read during the GEMM phases.
+    gemm_labels = [c for c in rows["C2D_Weights"][2:] if c != "-"]
+    assert "shared-read-only" in gemm_labels

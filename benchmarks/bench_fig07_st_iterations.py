@@ -1,0 +1,26 @@
+"""Fig. 7 — ST page patterns across iterations (implicit phases).
+
+Paper shape: pages of the two stencil buffers alternate between
+read-only and write-only each iteration, in anti-phase — currData starts
+read-only while newData starts write-only.
+"""
+
+
+def test_fig7_st_iteration_alternation(experiment):
+    result = experiment("fig7")
+    curr_rows = [r for r in result.rows if r[0] == "ST_currData"]
+    new_rows = [r for r in result.rows if r[0] == "ST_newData"]
+    assert curr_rows and new_rows
+
+    def labels(row):
+        return row[2].split()
+
+    for row in curr_rows:
+        seq = labels(row)
+        assert seq[0] == "re"
+        # Strict alternation over the shown iterations.
+        assert all(a != b for a, b in zip(seq, seq[1:]))
+    for row in new_rows:
+        seq = labels(row)
+        assert seq[0] == "wr"
+        assert all(a != b for a, b in zip(seq, seq[1:]))

@@ -1,0 +1,23 @@
+"""Fig. 16 — sensitivity to the O-Table reset threshold.
+
+Paper shape: +55% / +64% / +56% over on-touch for thresholds 4 / 8 / 32 —
+the default of 8 is the sweet spot; 4 flip-flops policies, 32 reacts too
+slowly to implicit phase changes.
+"""
+
+from benchmarks.conftest import geomean_row
+
+
+def test_fig16_reset_threshold_sensitivity(experiment):
+    result = experiment("fig16")
+    geo = geomean_row(result)
+    t4, t8, t32 = geo[1], geo[2], geo[3]
+    assert t8 > 1.0
+    # Threshold 8 is within noise of the best choice.  (Note: in this
+    # substrate the sensitivity is much weaker than the paper's ±9 points
+    # because weighted trace records compress fault streams, making
+    # stale-policy episodes brief at any threshold — see EXPERIMENTS.md.)
+    assert t8 >= t4 * 0.98
+    assert t8 >= t32 * 0.98
+    # And the spread is modest (the paper sees ~9 points between them).
+    assert max(t4, t8, t32) / min(t4, t8, t32) < 1.35

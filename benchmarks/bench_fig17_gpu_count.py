@@ -1,0 +1,17 @@
+"""Fig. 17 — OASIS on 8- and 16-GPU systems (Table III workload sizes).
+
+Paper shape: the improvement persists as the system scales — +65% with 8
+GPUs and +67% with 16 GPUs over the respective on-touch baselines.
+"""
+
+
+def test_fig17_gpu_count_scaling(experiment):
+    result = experiment("fig17")
+    geo8 = next(r[2] for r in result.rows
+                if r[0] == "8 GPUs" and r[1] == "geomean")
+    geo16 = next(r[2] for r in result.rows
+                 if r[0] == "16 GPUs" and r[1] == "geomean")
+    assert geo8 > 1.2
+    assert geo16 > 1.2
+    # Gains at 16 GPUs comparable to (the paper: slightly above) 8 GPUs.
+    assert geo16 > 0.8 * geo8

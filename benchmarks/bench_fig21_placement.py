@@ -1,0 +1,14 @@
+"""Fig. 21 — sensitivity to initial page placement.
+
+Paper shape: with pages initially distributed round-robin across the GPUs
+(instead of on the host), OASIS still gains +57% — it is insensitive to
+the initial placement.
+"""
+
+from benchmarks.conftest import geomean_row
+
+
+def test_fig21_distributed_placement(experiment):
+    result = experiment("fig21")
+    geo = geomean_row(result)[1]
+    assert geo > 1.2  # paper: +57%

@@ -1,0 +1,27 @@
+"""Fig. 23 — page policy distribution of L2-TLB-miss requests.
+
+Paper shape: both adaptive schemes move most requests off default
+on-touch; GRIT mixes policies per page while OASIS applies object-uniform
+policies.
+"""
+
+from benchmarks.conftest import bench_apps
+
+
+def test_fig23_policy_distribution(experiment):
+    result = experiment("fig23")
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    apps = sorted({r[0] for r in result.rows})
+    for app in apps:
+        for policy in ("grit", "oasis"):
+            row = by_key[(app, policy)]
+            total = row[2] + row[3] + row[4]
+            assert total == 100 or abs(total - 100) < 0.5, (app, policy)
+    if bench_apps() is None:
+        # Adaptive policies actually adapt: across the suite a substantial
+        # share of requests run under counter or duplication.
+        for policy in ("grit", "oasis"):
+            adapted = sum(
+                by_key[(a, policy)][3] + by_key[(a, policy)][4] for a in apps
+            ) / len(apps)
+            assert adapted > 20.0, policy

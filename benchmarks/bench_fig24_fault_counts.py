@@ -1,0 +1,15 @@
+"""Fig. 24 — total GPU page faults under GRIT and OASIS.
+
+Paper shape: OASIS services 22% fewer faults than GRIT, because one
+object-level decision replaces GRIT's four-faults-per-page learning.
+"""
+
+
+def test_fig24_fault_reduction(experiment):
+    result = experiment("fig24")
+    total = result.row_dict()["total"]
+    grit_faults, oasis_faults, reduction = total[1], total[2], total[3]
+    assert grit_faults > 0 and oasis_faults > 0
+    # OASIS faults fewer times than GRIT (paper: -22%).
+    assert oasis_faults < grit_faults
+    assert reduction > 5.0

@@ -1,0 +1,11 @@
+"""Table I — baseline multi-GPU configuration."""
+
+
+def test_table1_baseline_configuration(experiment):
+    result = experiment("table1")
+    rows = result.row_dict()
+    assert rows["GPUs"][1] == 4
+    assert rows["Page size"][1] == "4 KB"
+    assert rows["Access counter threshold"][1] == 256
+    assert "300" in rows["Inter-GPU network"][1]
+    assert "32" in rows["CPU-GPU network"][1]

@@ -1,0 +1,9 @@
+"""Table II — application list: object counts and memory footprints."""
+
+
+def test_table2_applications(experiment):
+    result = experiment("table2")
+    for row in result.rows:
+        app, _suite, _pattern, objs_paper, objs_built, mb_paper, mb_built, _ = row
+        assert objs_built == objs_paper, app
+        assert abs(mb_built - mb_paper) / mb_paper < 0.03, app

@@ -1,0 +1,10 @@
+"""Table III — memory footprints for 8- and 16-GPU configurations."""
+
+
+def test_table3_scaled_footprints(experiment):
+    result = experiment("table3")
+    for row in result.rows:
+        app, p8, b8, p16, b16 = row
+        assert abs(b8 - p8) / p8 < 0.03, app
+        assert abs(b16 - p16) / p16 < 0.03, app
+        assert b16 > b8, app

@@ -1,0 +1,60 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one table/figure of the paper via the
+experiment registry, times it with pytest-benchmark, writes the rendered
+report to ``results/``, and asserts the paper's qualitative shape.
+
+Environment knobs:
+
+* ``REPRO_BENCH_APPS`` — comma-separated subset of applications (e.g.
+  ``mm,st,bfs``) for quick smoke runs; default is all eleven.
+
+Simulation results are memoized per process (see
+:mod:`repro.harness.runner`), so benchmarks that share runs — Fig. 2 is a
+subset of Fig. 15; Figs. 22/23/24 reuse the GRIT/OASIS runs — only pay
+once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_apps() -> list[str] | None:
+    raw = os.environ.get("REPRO_BENCH_APPS", "").strip()
+    if not raw:
+        return None
+    return [a.strip().lower() for a in raw.split(",") if a.strip()]
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Run one experiment under the benchmark timer and save its report."""
+
+    def runner(exp_id: str):
+        apps = bench_apps()
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id,), kwargs={"apps": apps},
+            rounds=1, iterations=1,
+        )
+        path = result.save(RESULTS_DIR)
+        print(f"\n{result.render()}\n[saved to {path}]")
+        return result
+
+    return runner
+
+
+def geomean_row(result):
+    """The geomean row of a speedup-table experiment."""
+    return result.row_dict()["geomean"]
+
+
+def column(result, name):
+    return result.headers.index(name)

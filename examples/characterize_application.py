@@ -1,0 +1,61 @@
+"""Characterize an application's objects the way Section IV does.
+
+Prints, for each object: its size, its overall pattern label
+(private/shared x read-only/write-only/rw-mix), the share of pages and
+dynamic accesses it receives, and whether it is non-uniform — plus the
+app-level page-type percentages used in Fig. 20.
+
+Usage::
+
+    python examples/characterize_application.py [app] [app...]
+"""
+
+import sys
+
+from repro import baseline_config, get_workload
+from repro.analysis import (
+    access_share_by_object,
+    classify_object,
+    classify_pages,
+    non_uniform_objects,
+    page_type_percentages,
+    pages_by_object,
+)
+
+
+def characterize(app: str) -> None:
+    trace = get_workload(app, baseline_config())
+    cls = classify_pages(trace)
+    shares = access_share_by_object(trace)
+    page_frac = pages_by_object(trace)
+
+    print(f"== {app}: {trace.n_objects} objects, "
+          f"{trace.footprint_bytes / 2**20:.1f} MB ==")
+    print(f"{'object':<22s} {'pages':>7s} {'pattern':<22s} "
+          f"{'%pages':>7s} {'%accesses':>9s}")
+    shown = sorted(trace.objects, key=lambda o: -shares[o.name])[:12]
+    for obj in shown:
+        pattern = classify_object(trace, obj, cls)
+        print(f"{obj.name:<22s} {obj.n_pages:>7d} {pattern.label:<22s} "
+              f"{100 * page_frac[obj.name]:>6.1f}% "
+              f"{100 * shares[obj.name]:>8.1f}%")
+    if trace.n_objects > len(shown):
+        print(f"... ({trace.n_objects - len(shown)} more objects)")
+
+    nus = non_uniform_objects(trace)
+    print(f"non-uniform objects: {nus or 'none'}")
+    pct = page_type_percentages(trace)
+    print("page types: " + ", ".join(
+        f"{k} {100 * v:.0f}%" for k, v in sorted(pct.items())
+    ))
+    print()
+
+
+def main() -> None:
+    apps = sys.argv[1:] or ["mm", "st", "c2d"]
+    for app in apps:
+        characterize(app)
+
+
+if __name__ == "__main__":
+    main()

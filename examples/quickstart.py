@@ -1,0 +1,46 @@
+"""Quickstart: simulate one application under two page-management policies.
+
+Runs Matrix Multiplication on the paper's 4-GPU baseline under the
+default on-touch migration policy and under OASIS, then reports the
+speedup and the page-management event counts behind it.
+
+Usage::
+
+    python examples/quickstart.py [app]
+
+where ``app`` is any Table II abbreviation (default: mm).
+"""
+
+import sys
+
+from repro import baseline_config, get_workload, make_policy, simulate
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "mm"
+    config = baseline_config()
+    trace = get_workload(app, config)
+
+    print(f"Application: {app}")
+    print(f"  objects:   {trace.n_objects}")
+    print(f"  footprint: {trace.footprint_bytes / 2**20:.1f} MB")
+    print(f"  phases:    {len(trace.phases)} "
+          f"({sum(p.explicit for p in trace.phases)} explicit)")
+    print(f"  accesses:  {trace.total_accesses:,}")
+    print()
+
+    baseline = simulate(config, trace, make_policy("on_touch"))
+    oasis = simulate(config, trace, make_policy("oasis"))
+
+    for result in (baseline, oasis):
+        print(result.summary())
+    print()
+    print(f"OASIS speedup over on-touch: "
+          f"{oasis.speedup_over(baseline):.2f}x")
+    print(f"fault reduction: "
+          f"{(1 - oasis.total_faults / baseline.total_faults) * 100:.0f}%")
+    print(f"final PTE policy mix under OASIS: {oasis.policy_mix()}")
+
+
+if __name__ == "__main__":
+    main()

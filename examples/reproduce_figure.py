@@ -1,0 +1,57 @@
+"""Regenerate any table or figure of the paper from the command line.
+
+Usage::
+
+    python examples/reproduce_figure.py fig15
+    python examples/reproduce_figure.py fig16 --apps mm,st,bfs
+    python examples/reproduce_figure.py --list
+
+Reports are printed and saved under ``results/``.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate a table/figure of the OASIS paper."
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id, e.g. fig15 or table2")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated application subset")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render an ASCII chart of the result")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args()
+
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for exp_id, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {exp_id:<8s} {doc}")
+        return
+
+    apps = (
+        [a.strip() for a in args.apps.split(",") if a.strip()]
+        if args.apps else None
+    )
+    result = run_experiment(args.experiment, apps=apps)
+    print(result.render())
+    if args.chart:
+        from repro.harness.charts import experiment_chart
+
+        print()
+        print(experiment_chart(result))
+    path = result.save(RESULTS_DIR)
+    print(f"\nsaved to {path}")
+
+
+if __name__ == "__main__":
+    main()

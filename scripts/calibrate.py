@@ -1,0 +1,44 @@
+"""Try latency-model variants and report headline ratios."""
+import sys
+import time
+
+from repro.config import LatencyModel, SystemConfig
+from repro import make_policy, simulate, get_workload
+from repro.workloads import APPLICATION_ORDER
+
+POL = ["on_touch", "access_counter", "duplication", "ideal", "grit", "oasis",
+       "oasis_inmem"]
+
+
+def run(tag, apps=APPLICATION_ORDER, **lat_kwargs):
+    cfg = SystemConfig(latency=LatencyModel(**lat_kwargs))
+    geo = {p: 1.0 for p in POL}
+    rows = []
+    for app in apps:
+        tr = get_workload(app, cfg)
+        t = {p: simulate(cfg, tr, make_policy(p)).total_time_ns for p in POL}
+        base = t["on_touch"]
+        rows.append(f"  {app:9s} " + " ".join(f"{base / t[p]:8.2f}" for p in POL))
+        for p in POL:
+            geo[p] *= base / t[p]
+    n = len(apps)
+    g = {p: geo[p] ** (1 / n) for p in POL}
+    print(f"== {tag} ==")
+    print(f"  {'app':9s} " + " ".join(f"{p[:8]:>8s}" for p in POL))
+    for r in rows:
+        print(r)
+    print(f"  {'geomean':9s} " + " ".join(f"{g[p]:8.2f}" for p in POL))
+    print(f"  headline: oasis/ontouch={g['oasis']:.2f} (1.64) "
+          f"oasis/counter={g['oasis']/g['access_counter']:.2f} (1.35) "
+          f"oasis/dup={g['oasis']/g['duplication']:.2f} (1.42) "
+          f"oasis/grit={g['oasis']/g['grit']:.2f} (1.12) "
+          f"inmem/oasis={g['oasis_inmem']/g['oasis']:.3f} (0.98)",
+          flush=True)
+
+
+if __name__ == "__main__":
+    t0 = time.time()
+    run("v1: fs5000 occ800 inv2000 c60",
+        fault_service_ns=5000, fault_driver_occupancy_ns=800,
+        pte_invalidate_ns=2000, compute_ns_per_access=60)
+    print(f"[{time.time()-t0:.0f}s]")

@@ -1,0 +1,33 @@
+"""Calibration sweep: all apps x all policies, speedups vs on-touch."""
+import sys
+import time
+
+from repro import baseline_config, make_policy, simulate, get_workload
+from repro.workloads import APPLICATION_ORDER
+
+POL = ["on_touch", "access_counter", "duplication", "ideal", "grit", "oasis",
+       "oasis_inmem"]
+
+
+def main(apps=None):
+    cfg = baseline_config()
+    apps = apps or APPLICATION_ORDER
+    print(f"{'app':9s} " + " ".join(f"{p[:9]:>9s}" for p in POL))
+    geo = {p: 1.0 for p in POL}
+    n = 0
+    t0 = time.time()
+    for app in apps:
+        tr = get_workload(app, cfg)
+        times = {p: simulate(cfg, tr, make_policy(p)).total_time_ns for p in POL}
+        base = times["on_touch"]
+        print(f"{app:9s} " + " ".join(f"{base / times[p]:9.2f}" for p in POL),
+              flush=True)
+        for p in POL:
+            geo[p] *= base / times[p]
+        n += 1
+    print(f"{'geomean':9s} " + " ".join(f"{geo[p] ** (1 / n):9.2f}" for p in POL))
+    print(f"[{time.time() - t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or None)

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs to build a wheel with this environment's old
+setuptools; `python setup.py develop` installs the egg-link directly.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — reproduction of OASIS (HPCA 2025).
+
+Object-aware page management for multi-GPU systems, built on a
+trace-driven UVM page-management simulator.
+
+Quickstart::
+
+    from repro import baseline_config, get_workload, make_policy, simulate
+
+    config = baseline_config()
+    trace = get_workload("mm", config)
+    result = simulate(config, trace, make_policy("oasis"))
+    baseline = simulate(config, trace, make_policy("on_touch"))
+    print(f"OASIS speedup over on-touch: "
+          f"{result.speedup_over(baseline):.2f}x")
+"""
+
+from repro.config import (
+    HOST,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    LatencyModel,
+    SystemConfig,
+    TLBConfig,
+    baseline_config,
+)
+from repro.core import OasisInMemPolicy, OasisPolicy
+from repro.policies import (
+    AccessCounterPolicy,
+    DuplicationPolicy,
+    GritPolicy,
+    IdealPolicy,
+    OnTouchPolicy,
+    PolicyEngine,
+    StaticAdvisePolicy,
+)
+from repro.sim import Machine, SimulationResult, simulate
+from repro.workloads import APPLICATIONS, get_workload
+from repro.workloads.base import ObjectDef, PhaseTrace, Trace, TraceBuilder
+
+__version__ = "1.0.0"
+
+#: Registry of every policy engine by report name.
+POLICY_FACTORIES = {
+    "on_touch": OnTouchPolicy,
+    "access_counter": AccessCounterPolicy,
+    "duplication": DuplicationPolicy,
+    "ideal": IdealPolicy,
+    "grit": GritPolicy,
+    "static_advise": StaticAdvisePolicy,
+    "oasis": OasisPolicy,
+    "oasis_inmem": OasisInMemPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> PolicyEngine:
+    """Instantiate a policy engine by name.
+
+    Valid names: ``on_touch``, ``access_counter``, ``duplication``,
+    ``ideal``, ``grit``, ``static_advise``, ``oasis``, ``oasis_inmem``.
+    """
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_FACTORIES))
+        raise ValueError(f"unknown policy {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "APPLICATIONS",
+    "AccessCounterPolicy",
+    "DuplicationPolicy",
+    "GritPolicy",
+    "HOST",
+    "IdealPolicy",
+    "LatencyModel",
+    "Machine",
+    "ObjectDef",
+    "OasisInMemPolicy",
+    "OasisPolicy",
+    "OnTouchPolicy",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_4K",
+    "PhaseTrace",
+    "POLICY_FACTORIES",
+    "PolicyEngine",
+    "SimulationResult",
+    "StaticAdvisePolicy",
+    "SystemConfig",
+    "TLBConfig",
+    "Trace",
+    "TraceBuilder",
+    "baseline_config",
+    "get_workload",
+    "make_policy",
+    "simulate",
+]

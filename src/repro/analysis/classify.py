@@ -1,0 +1,245 @@
+"""Page and object pattern classification (Section IV-B terminology).
+
+Definitions implemented verbatim from the paper:
+
+* **private page** — accessed exclusively by one GPU during the window;
+* **shared page** — accessed by more than one GPU during the window;
+* **read-only / write-only / rw-mix** — only read, only written, or both;
+* **object pattern** — if >= 90% of an object's touched pages agree on a
+  dimension, the object takes that label; otherwise it is a ``mix`` in
+  that dimension;
+* **non-uniform object** — has at least one page whose pattern differs
+  from the object's dominant pattern in *both* dimensions;
+* **non-uniform app** — has at least one non-uniform object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import ObjectDef, Trace
+
+#: Predominance threshold for classifying an object (Section IV-B).
+PREDOMINANCE = 0.90
+
+UNTOUCHED = "untouched"
+PRIVATE = "private"
+SHARED = "shared"
+READ_ONLY = "read-only"
+WRITE_ONLY = "write-only"
+RW_MIX = "rw-mix"
+MIX = "mix"
+
+
+@dataclass
+class PageClassification:
+    """Per-page access summary over a window of phases.
+
+    Arrays are indexed by page offset from ``first_page``.
+    """
+
+    first_page: int
+    reader_mask: np.ndarray
+    writer_mask: np.ndarray
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.reader_mask)
+
+    def _idx(self, page: int) -> int:
+        return page - self.first_page
+
+    def touched(self, page: int) -> bool:
+        idx = self._idx(page)
+        return bool(self.reader_mask[idx] | self.writer_mask[idx])
+
+    def sharing_of(self, page: int) -> str:
+        """``private``, ``shared`` or ``untouched``."""
+        idx = self._idx(page)
+        mask = int(self.reader_mask[idx] | self.writer_mask[idx])
+        if mask == 0:
+            return UNTOUCHED
+        return SHARED if mask & (mask - 1) else PRIVATE
+
+    def rw_of(self, page: int) -> str:
+        """``read-only``, ``write-only``, ``rw-mix`` or ``untouched``."""
+        idx = self._idx(page)
+        reads = bool(self.reader_mask[idx])
+        writes = bool(self.writer_mask[idx])
+        if reads and writes:
+            return RW_MIX
+        if reads:
+            return READ_ONLY
+        if writes:
+            return WRITE_ONLY
+        return UNTOUCHED
+
+    def pattern_of(self, page: int) -> tuple[str, str]:
+        """``(sharing, rw)`` of one page."""
+        return self.sharing_of(page), self.rw_of(page)
+
+    # -- bulk views ---------------------------------------------------------
+
+    def sharing_labels(self) -> np.ndarray:
+        """Vector of sharing labels for every page."""
+        union = self.reader_mask | self.writer_mask
+        out = np.full(self.n_pages, UNTOUCHED, dtype=object)
+        touched = union != 0
+        multi = (union & (union - 1)) != 0
+        out[touched & ~multi] = PRIVATE
+        out[multi] = SHARED
+        return out
+
+    def rw_labels(self) -> np.ndarray:
+        """Vector of read/write labels for every page."""
+        reads = self.reader_mask != 0
+        writes = self.writer_mask != 0
+        out = np.full(self.n_pages, UNTOUCHED, dtype=object)
+        out[reads & ~writes] = READ_ONLY
+        out[~reads & writes] = WRITE_ONLY
+        out[reads & writes] = RW_MIX
+        return out
+
+
+def classify_pages(
+    trace: Trace, phases: slice | list[int] | None = None
+) -> PageClassification:
+    """Classify every page of a trace over the chosen phase window.
+
+    Args:
+        trace: the trace to analyze.
+        phases: which phases to include — a slice, a list of indices, or
+            None for the whole execution.
+    """
+    reader = np.zeros(trace.n_pages, dtype=np.int64)
+    writer = np.zeros(trace.n_pages, dtype=np.int64)
+    if phases is None:
+        selected = trace.phases
+    elif isinstance(phases, slice):
+        selected = trace.phases[phases]
+    else:
+        selected = [trace.phases[i] for i in phases]
+    for phase in selected:
+        offsets = phase.page - trace.first_page
+        bits = np.left_shift(np.int64(1), phase.gpu.astype(np.int64))
+        is_write = phase.write.astype(bool)
+        np.bitwise_or.at(writer, offsets[is_write], bits[is_write])
+        np.bitwise_or.at(reader, offsets[~is_write], bits[~is_write])
+    return PageClassification(trace.first_page, reader, writer)
+
+
+@dataclass(frozen=True)
+class ObjectPattern:
+    """An object's classification over a window."""
+
+    name: str
+    sharing: str
+    rw: str
+    touched_pages: int
+    n_pages: int
+    #: Fraction of touched pages agreeing with the dominant sharing label.
+    sharing_agreement: float
+    #: Fraction of touched pages agreeing with the dominant rw label.
+    rw_agreement: float
+
+    @property
+    def label(self) -> str:
+        """Combined label, e.g. ``shared-read-only`` (Section IV-B)."""
+        return f"{self.sharing}-{self.rw}"
+
+    @property
+    def is_non_uniform(self) -> bool:
+        """True if some page deviates in both dimensions (Section IV-B)."""
+        return self.sharing_agreement < 1.0 and self.rw_agreement < 1.0
+
+
+def classify_object(
+    trace: Trace,
+    obj: ObjectDef,
+    classification: PageClassification | None = None,
+    phases: slice | list[int] | None = None,
+) -> ObjectPattern:
+    """Classify one object with the 90% predominance rule."""
+    cls = classification or classify_pages(trace, phases)
+    start = obj.first_page - trace.first_page
+    stop = start + obj.n_pages
+    sharing = cls.sharing_labels()[start:stop]
+    rw = cls.rw_labels()[start:stop]
+    touched = sharing != UNTOUCHED
+    n_touched = int(touched.sum())
+    if n_touched == 0:
+        return ObjectPattern(obj.name, UNTOUCHED, UNTOUCHED, 0, obj.n_pages,
+                             1.0, 1.0)
+    share_label, share_frac = _dominant(sharing[touched])
+    rw_label, rw_frac = _dominant(rw[touched])
+    if share_frac < PREDOMINANCE:
+        share_label = MIX
+    if rw_frac < PREDOMINANCE:
+        rw_label = RW_MIX if RW_MIX in rw[touched] else MIX
+    return ObjectPattern(
+        name=obj.name,
+        sharing=share_label,
+        rw=rw_label,
+        touched_pages=n_touched,
+        n_pages=obj.n_pages,
+        sharing_agreement=share_frac,
+        rw_agreement=rw_frac,
+    )
+
+
+def _dominant(labels: np.ndarray) -> tuple[str, float]:
+    values, counts = np.unique(labels, return_counts=True)
+    best = int(counts.argmax())
+    return str(values[best]), float(counts[best] / counts.sum())
+
+
+def object_pattern_by_phase(
+    trace: Trace, obj: ObjectDef
+) -> list[ObjectPattern]:
+    """The object's pattern in each phase (the Fig. 6 per-phase view)."""
+    return [
+        classify_object(trace, obj, phases=[i])
+        for i in range(len(trace.phases))
+    ]
+
+
+def non_uniform_objects(
+    trace: Trace, phases: slice | list[int] | None = None
+) -> list[str]:
+    """Names of objects with at least one doubly-deviating page."""
+    cls = classify_pages(trace, phases)
+    return [
+        obj.name
+        for obj in trace.objects
+        if classify_object(trace, obj, cls).is_non_uniform
+    ]
+
+
+def is_non_uniform_app(trace: Trace) -> bool:
+    """True if any object is non-uniform over the whole execution."""
+    return bool(non_uniform_objects(trace))
+
+
+def page_type_percentages(
+    trace: Trace, phases: slice | list[int] | None = None
+) -> dict[str, float]:
+    """Fractions of touched pages per category (the Fig. 20 breakdown).
+
+    Returns a dict with ``read-only`` / ``write-only`` / ``rw-mix`` and
+    ``private`` / ``shared`` fractions (each family sums to 1).
+    """
+    cls = classify_pages(trace, phases)
+    sharing = cls.sharing_labels()
+    rw = cls.rw_labels()
+    touched = sharing != UNTOUCHED
+    total = int(touched.sum())
+    if total == 0:
+        return {}
+    out = {}
+    for label in (READ_ONLY, WRITE_ONLY, RW_MIX):
+        out[label] = float((rw[touched] == label).sum() / total)
+    for label in (PRIVATE, SHARED):
+        out[label] = float((sharing[touched] == label).sum() / total)
+    return out

@@ -1,0 +1,117 @@
+"""Sharing-degree and traffic-concentration analyses.
+
+Beyond the paper's private/shared dichotomy, these helpers quantify *how*
+shared the shared pages are — the sharing degree distribution determines
+how expensive write-collapses are (per extra copy) and how much
+duplication amplifies capacity pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import ObjectDef, Trace
+
+
+def sharing_degree_histogram(
+    trace: Trace, phases: slice | list[int] | None = None
+) -> dict[int, int]:
+    """Number of touched pages per sharing degree (distinct GPUs).
+
+    Returns a mapping ``degree -> page count`` for degrees >= 1.
+    """
+    masks = _gpu_masks(trace, phases)
+    degrees = _popcount(masks)
+    touched = degrees > 0
+    values, counts = np.unique(degrees[touched], return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def mean_sharing_degree(
+    trace: Trace, phases: slice | list[int] | None = None
+) -> float:
+    """Average number of GPUs touching each touched page."""
+    masks = _gpu_masks(trace, phases)
+    degrees = _popcount(masks)
+    touched = degrees > 0
+    if not touched.any():
+        return 0.0
+    return float(degrees[touched].mean())
+
+
+def object_sharing_degree(
+    trace: Trace, obj: ObjectDef, phases: slice | list[int] | None = None
+) -> float:
+    """Average sharing degree of one object's touched pages."""
+    masks = _gpu_masks(trace, phases)
+    start = obj.first_page - trace.first_page
+    degrees = _popcount(masks[start:start + obj.n_pages])
+    touched = degrees > 0
+    if not touched.any():
+        return 0.0
+    return float(degrees[touched].mean())
+
+
+def access_concentration(trace: Trace, top_fraction: float = 0.1) -> float:
+    """Fraction of dynamic accesses landing on the hottest pages.
+
+    ``top_fraction`` of the touched pages (by access weight) are the "hot"
+    set; the return value is the share of all accesses they receive —
+    a simple skewness measure for random-pattern apps.
+    """
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    weights = np.zeros(trace.n_pages, dtype=np.float64)
+    for phase in trace.phases:
+        np.add.at(weights, phase.page - trace.first_page, phase.weight)
+    touched = weights[weights > 0]
+    if touched.size == 0:
+        return 0.0
+    touched.sort()
+    n_hot = max(1, int(len(touched) * top_fraction))
+    return float(touched[-n_hot:].sum() / touched.sum())
+
+
+def phase_access_summary(trace: Trace) -> list[dict]:
+    """Per-phase record/access/write statistics (profiling view)."""
+    out = []
+    for phase in trace.phases:
+        weights = phase.weight
+        writes = phase.write.astype(bool)
+        total = int(weights.sum()) if len(weights) else 0
+        write_accesses = int(weights[writes].sum()) if len(weights) else 0
+        out.append({
+            "name": phase.name,
+            "explicit": phase.explicit,
+            "records": len(phase),
+            "accesses": total,
+            "write_fraction": (write_accesses / total) if total else 0.0,
+            "unique_pages": int(np.unique(phase.page).size) if len(phase) else 0,
+            "gpus": int(np.unique(phase.gpu).size) if len(phase) else 0,
+        })
+    return out
+
+
+def _gpu_masks(
+    trace: Trace, phases: slice | list[int] | None
+) -> np.ndarray:
+    masks = np.zeros(trace.n_pages, dtype=np.int64)
+    if phases is None:
+        selected = trace.phases
+    elif isinstance(phases, slice):
+        selected = trace.phases[phases]
+    else:
+        selected = [trace.phases[i] for i in phases]
+    for phase in selected:
+        bits = np.left_shift(np.int64(1), phase.gpu.astype(np.int64))
+        np.bitwise_or.at(masks, phase.page - trace.first_page, bits)
+    return masks
+
+
+def _popcount(masks: np.ndarray) -> np.ndarray:
+    counts = np.zeros_like(masks)
+    work = masks.copy()
+    while work.any():
+        counts += work & 1
+        work >>= 1
+    return counts

@@ -1,0 +1,199 @@
+"""Command-line interface: ``repro-oasis``.
+
+Subcommands:
+
+* ``simulate APP [--policy P ...]`` — run one application under one or
+  more policies and print a comparison table.
+* ``experiment ID`` — regenerate a paper table/figure (see ``list``).
+* ``list`` — list applications, policies, and experiments.
+* ``characterize APP`` — print the Section IV object characterization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import (
+    POLICY_FACTORIES,
+    baseline_config,
+    get_workload,
+    make_policy,
+    simulate,
+)
+from repro.analysis import (
+    access_share_by_object,
+    classify_object,
+    classify_pages,
+)
+from repro.config import PAGE_SIZE_2M
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.harness.charts import bar_chart
+from repro.workloads import APPLICATION_ORDER, APPLICATIONS
+
+
+def _build_config(args):
+    kwargs = {}
+    if getattr(args, "gpus", None):
+        kwargs["n_gpus"] = args.gpus
+    if getattr(args, "large_pages", False):
+        kwargs["page_size"] = PAGE_SIZE_2M
+    if getattr(args, "oversubscription", None):
+        kwargs["oversubscription"] = args.oversubscription
+    if getattr(args, "distributed", False):
+        kwargs["initial_placement"] = "distributed"
+    if getattr(args, "reset_threshold", None):
+        kwargs["reset_threshold"] = args.reset_threshold
+    return baseline_config(**kwargs)
+
+
+def cmd_simulate(args) -> int:
+    config = _build_config(args)
+    trace = get_workload(args.app, config, footprint_mb=args.footprint_mb)
+    results = {}
+    for name in args.policy:
+        results[name] = simulate(config, trace, make_policy(name))
+    baseline = results[args.policy[0]]
+    print(f"{'policy':<16s} {'time(ms)':>10s} {'speedup':>8s} "
+          f"{'faults':>9s} {'migr':>8s} {'dup':>8s} {'collapse':>8s}")
+    for name, r in results.items():
+        print(f"{name:<16s} {r.total_time_ns / 1e6:>10.2f} "
+              f"{r.speedup_over(baseline):>8.2f} {int(r.total_faults):>9d} "
+              f"{int(r.migrations):>8d} {int(r.duplications):>8d} "
+              f"{int(r.collapses):>8d}")
+    print()
+    print(bar_chart(
+        [(name, r.speedup_over(baseline)) for name, r in results.items()],
+        reference=1.0,
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    apps = args.apps.split(",") if args.apps else None
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        result = run_experiment(exp_id, apps=apps)
+        print(result.render())
+        print()
+        if args.save:
+            path = result.save(Path(args.save))
+            print(f"saved to {path}")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("applications (Table II):")
+    for app in APPLICATION_ORDER:
+        info = APPLICATIONS[app]
+        print(f"  {app:<9s} {info.full_name:<34s} {info.suite:<11s} "
+              f"{info.pattern:<15s} {info.n_objects:>3d} objects  "
+              f"{info.footprint_for(4):>4d} MB")
+    print("\npolicies:")
+    for name in POLICY_FACTORIES:
+        print(f"  {name}")
+    print("\nexperiments:")
+    for exp_id, fn in sorted(EXPERIMENTS.items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:<8s} {doc}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _build_config(args)
+    apps = (
+        [a.strip() for a in args.apps.split(",") if a.strip()]
+        if args.apps else list(APPLICATION_ORDER)
+    )
+    policies = args.policy or ["on_touch", "access_counter", "duplication",
+                               "ideal", "grit", "oasis"]
+    from repro.harness import run_sim, speedup_table
+
+    rows, geo = speedup_table(
+        config, apps, policies,
+        footprint_mb={a: args.footprint_mb for a in apps}
+        if args.footprint_mb else None,
+    )
+    header = f"{'app':<10s}" + "".join(f"{p[:12]:>13s}" for p in policies)
+    print(header)
+    for row in rows:
+        print(f"{row[0]:<10s}" + "".join(f"{v:13.2f}" for v in row[1:]))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    config = baseline_config()
+    trace = get_workload(args.app, config)
+    cls = classify_pages(trace)
+    shares = access_share_by_object(trace)
+    print(f"{args.app}: {trace.n_objects} objects, "
+          f"{trace.footprint_bytes / 2**20:.1f} MB")
+    for obj in sorted(trace.objects, key=lambda o: -shares[o.name])[:20]:
+        pattern = classify_object(trace, obj, cls)
+        print(f"  {obj.name:<24s} {pattern.label:<22s} "
+              f"{100 * shares[obj.name]:5.1f}% of accesses")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oasis",
+        description="OASIS (HPCA 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate an application")
+    sim.add_argument("app", choices=sorted(APPLICATIONS))
+    sim.add_argument("--policy", action="append",
+                     choices=sorted(POLICY_FACTORIES),
+                     help="repeatable; first one is the baseline "
+                          "(default: on_touch oasis)")
+    sim.add_argument("--gpus", type=int, default=None)
+    sim.add_argument("--footprint-mb", type=float, default=None,
+                     dest="footprint_mb")
+    sim.add_argument("--large-pages", action="store_true")
+    sim.add_argument("--distributed", action="store_true")
+    sim.add_argument("--oversubscription", type=float, default=None)
+    sim.add_argument("--reset-threshold", type=int, default=None)
+    sim.set_defaults(func=cmd_simulate)
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("id", choices=[*sorted(EXPERIMENTS), "all"])
+    exp.add_argument("--apps", default=None)
+    exp.add_argument("--save", default="results")
+    exp.set_defaults(func=cmd_experiment)
+
+    swp = sub.add_parser("sweep",
+                         help="speedup table: apps x policies vs on-touch")
+    swp.add_argument("--apps", default=None)
+    swp.add_argument("--policy", action="append",
+                     choices=sorted(POLICY_FACTORIES))
+    swp.add_argument("--gpus", type=int, default=None)
+    swp.add_argument("--footprint-mb", type=float, default=None,
+                     dest="footprint_mb")
+    swp.add_argument("--large-pages", action="store_true")
+    swp.add_argument("--distributed", action="store_true")
+    swp.add_argument("--oversubscription", type=float, default=None)
+    swp.add_argument("--reset-threshold", type=int, default=None)
+    swp.set_defaults(func=cmd_sweep)
+
+    lst = sub.add_parser("list", help="list apps, policies, experiments")
+    lst.set_defaults(func=cmd_list)
+
+    cha = sub.add_parser("characterize", help="Section IV object analysis")
+    cha.add_argument("app", choices=sorted(APPLICATIONS))
+    cha.set_defaults(func=cmd_characterize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate" and not args.policy:
+        args.policy = ["on_touch", "oasis"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""OASIS: the paper's primary contribution.
+
+Components (Section V):
+
+* :mod:`repro.core.pointer` — Obj_ID tagging in the unused upper pointer
+  bits (Figs. 9–10), with Top-Byte-Ignore-style masking.
+* :mod:`repro.core.tracker` — the Object Tracker: a wrapper around the
+  allocation API that assigns Obj_IDs in allocation order.
+* :mod:`repro.core.otable` — the on-chip O-Table: 16 LRU-managed 12-bit
+  entries (Fig. 11).
+* :mod:`repro.core.controller` — the Object Policy Controller: the
+  private/shared host-page-table filter, first-fault policy learning from
+  the error-code W bit, PF-count self-correction and explicit-phase resets
+  (Figs. 11 and 13).
+* :mod:`repro.core.oasis` — hardware OASIS as a policy engine.
+* :mod:`repro.core.inmem` — OASIS-InMem: the software-only alternative
+  with a two-level shadow map and an in-memory O-Table (Fig. 14).
+"""
+
+from repro.core.controller import ObjectPolicyController
+from repro.core.inmem import OasisInMemPolicy, ShadowMap
+from repro.core.oasis import OasisPolicy
+from repro.core.otable import OTable, OTableEntry
+from repro.core.pointer import (
+    decode_pointer,
+    encode_pointer,
+    strip_tag,
+)
+from repro.core.tracker import ObjectTracker
+
+__all__ = [
+    "ObjectPolicyController",
+    "ObjectTracker",
+    "OasisInMemPolicy",
+    "OasisPolicy",
+    "OTable",
+    "OTableEntry",
+    "ShadowMap",
+    "decode_pointer",
+    "encode_pointer",
+    "strip_tag",
+]

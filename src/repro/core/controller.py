@@ -1,0 +1,91 @@
+"""The Object Policy Controller (Section V-D).
+
+Decides the management policy of *shared* objects:
+
+* a shared fault whose O-Table entry has ``PF Count == 0`` **learns** the
+  policy from the fault's W bit — write → access-counter migration
+  (O-Table policy bit 1), read → duplication (bit 0);
+* a shared fault with ``PF Count != 0`` **applies** the recorded policy;
+* every shared fault increments PF Count; reaching the reset threshold
+  (default 8) zeroes it, so the next fault re-learns — this is the
+  implicit-phase self-correction of Fig. 13;
+* kernel launches (explicit phases) zero every PF count so each object's
+  policy is re-learned at its next shared fault.
+
+The private/shared filter itself (the host-page-table address-range check)
+lives in the policy engine, which owns the page tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.otable import (
+    OTABLE_POLICY_COUNTER,
+    OTABLE_POLICY_DUPLICATION,
+    OTable,
+)
+from repro.memory import POLICY_COUNTER, POLICY_DUPLICATION
+
+
+class ObjectPolicyController:
+    """Shared-fault policy decisions backed by an O-Table."""
+
+    def __init__(self, otable: OTable, reset_threshold: int = 8) -> None:
+        if reset_threshold < 1:
+            raise ValueError("reset threshold must be >= 1")
+        self.otable = otable
+        self.reset_threshold = reset_threshold
+        #: Number of learning events (PF Count was zero).
+        self.decisions = 0
+        #: Number of self-correction resets (PF Count hit the threshold).
+        self.resets = 0
+        #: Number of explicit-phase (kernel launch) resets performed.
+        self.kernel_resets = 0
+        #: Implicit phase detections: threshold self-corrections whose
+        #: re-learning changed the policy (Section VI-A reports these).
+        self.implicit_phase_detections = 0
+        #: Policy-change count, keyed by (old policy, new policy) O-Table bits.
+        self.transitions: dict[tuple[int, int], int] = {}
+
+    def on_shared_fault(self, obj_id: int, is_write: bool) -> int:
+        """Handle one shared page fault; returns the PTE policy bits to apply.
+
+        Implements the O-Table walk of Fig. 11: locate the entry by
+        Obj_ID, learn or apply the policy, bump the PF count and self-
+        correct at the threshold.
+        """
+        entry = self.otable.lookup_or_insert(obj_id)
+        if entry.pf_count == 0:
+            new_policy = (
+                OTABLE_POLICY_COUNTER if is_write else OTABLE_POLICY_DUPLICATION
+            )
+            if new_policy != entry.policy:
+                key = (entry.policy, new_policy)
+                self.transitions[key] = self.transitions.get(key, 0) + 1
+                if entry.reset_pending:
+                    # A self-correction re-learned a different policy:
+                    # that is an implicit phase change caught in the act.
+                    self.implicit_phase_detections += 1
+            entry.policy = new_policy
+            entry.reset_pending = False
+            self.decisions += 1
+        entry.pf_count += 1
+        if entry.pf_count >= self.reset_threshold:
+            entry.pf_count = 0
+            entry.reset_pending = True
+            self.resets += 1
+        if entry.policy == OTABLE_POLICY_COUNTER:
+            return POLICY_COUNTER
+        return POLICY_DUPLICATION
+
+    def on_kernel_launch(self) -> None:
+        """Explicit phase boundary: zero every PF count (Section V-D)."""
+        self.otable.reset_all_pf_counts()
+        self.kernel_resets += 1
+
+    def on_alloc(self, obj_id: int) -> None:
+        """Initialize the entry when the object is allocated."""
+        self.otable.insert(obj_id)
+
+    def on_free(self, obj_id: int) -> None:
+        """Remove the entry when the object is freed."""
+        self.otable.remove(obj_id)

@@ -1,0 +1,180 @@
+"""The O-Table (Fig. 11).
+
+An on-chip, LRU-managed structure with (by default) 16 entries of 12 bits
+each:
+
+* 4-bit ``Obj_ID`` — matches the Obj_ID encoded in the pointer (the field
+  widens with the pointer tag, up to 15 bits);
+* 1-bit ``policy`` — 0 for duplication, 1 for access-counter-based
+  migration (on-touch is the default and is never recorded here);
+* 3-bit ``PF Count`` — shared page faults observed since the last reset
+  (3 bits count 0..7; the default reset threshold of 8 is exactly the
+  counter wrapping);
+* 4-bit ``LRU`` — replacement state.
+
+:func:`pack_entry` / :func:`unpack_entry` implement the literal 12-bit
+layout; :class:`OTable` keeps the fields unpacked for speed and derives
+the LRU bits from dict ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Policy-bit meanings inside the O-Table (NOT the 2-bit PTE encoding).
+OTABLE_POLICY_DUPLICATION = 0
+OTABLE_POLICY_COUNTER = 1
+
+#: Default field widths (Fig. 11).
+OBJ_ID_BITS = 4
+POLICY_BITS = 1
+PF_COUNT_BITS = 3
+LRU_BITS = 4
+
+#: Total bits per entry with default widths.
+ENTRY_BITS = OBJ_ID_BITS + POLICY_BITS + PF_COUNT_BITS + LRU_BITS
+
+
+def pack_entry(obj_id: int, policy: int, pf_count: int, lru: int) -> int:
+    """Pack one O-Table entry into its 12-bit hardware layout.
+
+    Layout (MSB to LSB): Obj_ID(4) | policy(1) | PF Count(3) | LRU(4).
+    """
+    if not 0 <= obj_id < (1 << OBJ_ID_BITS):
+        raise ValueError(f"obj_id {obj_id} does not fit in {OBJ_ID_BITS} bits")
+    if policy not in (OTABLE_POLICY_DUPLICATION, OTABLE_POLICY_COUNTER):
+        raise ValueError("policy must be 0 (duplication) or 1 (counter)")
+    if not 0 <= pf_count < (1 << PF_COUNT_BITS):
+        raise ValueError(f"pf_count {pf_count} does not fit in {PF_COUNT_BITS} bits")
+    if not 0 <= lru < (1 << LRU_BITS):
+        raise ValueError(f"lru {lru} does not fit in {LRU_BITS} bits")
+    word = obj_id
+    word = (word << POLICY_BITS) | policy
+    word = (word << PF_COUNT_BITS) | pf_count
+    word = (word << LRU_BITS) | lru
+    return word
+
+
+def unpack_entry(word: int) -> tuple[int, int, int, int]:
+    """Inverse of :func:`pack_entry`: ``(obj_id, policy, pf_count, lru)``."""
+    if not 0 <= word < (1 << ENTRY_BITS):
+        raise ValueError(f"entry word {word} does not fit in {ENTRY_BITS} bits")
+    lru = word & ((1 << LRU_BITS) - 1)
+    word >>= LRU_BITS
+    pf_count = word & ((1 << PF_COUNT_BITS) - 1)
+    word >>= PF_COUNT_BITS
+    policy = word & 1
+    obj_id = word >> POLICY_BITS
+    return obj_id, policy, pf_count, lru
+
+
+@dataclass
+class OTableEntry:
+    """One live O-Table entry (unpacked working form).
+
+    ``reset_pending`` is bookkeeping outside the 12-bit payload: it marks
+    that the PF count was zeroed by threshold self-correction (as opposed
+    to allocation or a kernel launch), which lets the controller count
+    *implicit phase detections* — self-corrections whose re-learning
+    actually changed the policy.
+    """
+
+    obj_id: int
+    policy: int = OTABLE_POLICY_DUPLICATION
+    pf_count: int = 0
+    reset_pending: bool = False
+
+    def packed(self, lru: int) -> int:
+        """This entry in its 12-bit hardware form."""
+        return pack_entry(self.obj_id & ((1 << OBJ_ID_BITS) - 1),
+                          self.policy, self.pf_count & ((1 << PF_COUNT_BITS) - 1),
+                          lru)
+
+
+class OTable:
+    """LRU-managed table of :class:`OTableEntry`, fixed capacity."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("O-Table needs at least one entry")
+        self._capacity = capacity
+        # Insertion-ordered dict: first key is the LRU entry.
+        self._entries: dict[int, OTableEntry] = {}
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._entries
+
+    def lookup(self, obj_id: int) -> OTableEntry | None:
+        """Find an entry and refresh its recency; None on miss."""
+        entry = self._entries.pop(obj_id, None)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries[obj_id] = entry
+        self.hits += 1
+        return entry
+
+    def insert(self, obj_id: int) -> OTableEntry:
+        """Create (or reset) the entry for ``obj_id``; evicts LRU if full.
+
+        New entries start with policy "0" and PF Count "000"
+        (Section V-C).
+        """
+        self._entries.pop(obj_id, None)
+        if len(self._entries) >= self._capacity:
+            victim = next(iter(self._entries))
+            del self._entries[victim]
+            self.evictions += 1
+        entry = OTableEntry(obj_id=obj_id)
+        self._entries[obj_id] = entry
+        return entry
+
+    def lookup_or_insert(self, obj_id: int) -> OTableEntry:
+        """Lookup; on miss (freed/evicted object), re-create the entry."""
+        entry = self.lookup(obj_id)
+        if entry is None:
+            entry = self.insert(obj_id)
+        return entry
+
+    def remove(self, obj_id: int) -> bool:
+        """Drop the entry when the object is freed; True if present."""
+        return self._entries.pop(obj_id, None) is not None
+
+    def reset_all_pf_counts(self) -> int:
+        """Zero every PF count (explicit phase boundary); returns #touched."""
+        for entry in self._entries.values():
+            entry.pf_count = 0
+            # The zero is now attributable to the kernel launch, not to
+            # threshold self-correction.
+            entry.reset_pending = False
+        return len(self._entries)
+
+    def entries(self) -> list[OTableEntry]:
+        """Entries in LRU-to-MRU order."""
+        return list(self._entries.values())
+
+    def packed_words(self) -> list[int]:
+        """Every live entry in its 12-bit hardware form (LRU in the low bits).
+
+        LRU state is encoded as the entry's position in recency order, the
+        information a real 4-bit-per-entry LRU encoding carries.
+        """
+        return [
+            entry.packed(lru=min(pos, (1 << LRU_BITS) - 1))
+            for pos, entry in enumerate(self._entries.values())
+        ]
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage of the structure (Section V-E: 12 x 16 = 24 bytes)."""
+        return ENTRY_BITS * self._capacity

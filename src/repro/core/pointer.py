@@ -1,0 +1,82 @@
+"""Tagged-pointer encoding (Figs. 9 and 10).
+
+OASIS encodes each object's index into the unused upper bits of the
+pointer returned by ``cudaMallocManaged``:
+
+* bits ``0..47`` — the object's virtual address (48 addressable bits);
+* bit ``48`` — the configuration bit: 1 for hardware OASIS (Obj_ID is in
+  the pointer), 0 for OASIS-InMem (Obj_ID comes from the shadow map);
+* bits ``49..49+N-1`` — the N-bit Obj_ID (default N = 4; at most 15).
+
+Dereferencing relies on Top-Byte-Ignore-style hardware (ARM TBI, Intel
+LAM, AMD UAI): :func:`strip_tag` is the mask the hardware applies.  The
+encoding below is the paper's Fig. 10 recipe verbatim: shift the combined
+Obj_ID+config field left by ``ADDR_BITS``, mask the original pointer to
+its low 48 bits, and OR the two together.
+"""
+
+from __future__ import annotations
+
+from repro.memory.address_space import ADDR_BITS
+
+#: Fig. 9 reserves one configuration bit directly above the address bits.
+CONFIG_BIT = 1 << ADDR_BITS
+
+#: Maximum Obj_ID field width (Section V-B).
+MAX_OBJ_ID_BITS = 15
+
+#: Low-48-bit mask applied on dereference (Top Byte Ignore emulation).
+ADDRESS_MASK = (1 << ADDR_BITS) - 1
+
+
+def encode_pointer(
+    ptr: int, obj_id: int, config: int, obj_id_bits: int = 4
+) -> int:
+    """Tag ``ptr`` with an Obj_ID and the configuration bit.
+
+    Args:
+        ptr: the raw 48-bit virtual address from the allocator.
+        obj_id: the object index to encode.
+        config: 1 for hardware OASIS, 0 for OASIS-InMem.
+        obj_id_bits: width of the Obj_ID field (4 by default, max 15).
+
+    Returns:
+        The 64-bit tagged pointer.
+    """
+    if not 1 <= obj_id_bits <= MAX_OBJ_ID_BITS:
+        raise ValueError(f"obj_id_bits must be in 1..{MAX_OBJ_ID_BITS}")
+    if not 0 <= obj_id < (1 << obj_id_bits):
+        raise ValueError(
+            f"obj_id {obj_id} does not fit in {obj_id_bits} bits"
+        )
+    if config not in (0, 1):
+        raise ValueError("config bit must be 0 or 1")
+    if ptr < 0:
+        raise ValueError("pointer must be non-negative")
+    # Fig. 10: obj_ID_config_shifted = OBJ_ID_Config << ADDR_BITS
+    obj_id_config = (obj_id << 1) | config
+    obj_id_config_shifted = obj_id_config << ADDR_BITS
+    # MASK = ((1 << ADDR_BITS) - 1); ptr_temp = ptr & MASK
+    ptr_temp = ptr & ADDRESS_MASK
+    return ptr_temp | obj_id_config_shifted
+
+
+def decode_pointer(tagged: int, obj_id_bits: int = 4) -> tuple[int, int, int]:
+    """Split a tagged pointer into ``(address, obj_id, config)``."""
+    if not 1 <= obj_id_bits <= MAX_OBJ_ID_BITS:
+        raise ValueError(f"obj_id_bits must be in 1..{MAX_OBJ_ID_BITS}")
+    address = tagged & ADDRESS_MASK
+    upper = tagged >> ADDR_BITS
+    config = upper & 1
+    obj_id = (upper >> 1) & ((1 << obj_id_bits) - 1)
+    return address, obj_id, config
+
+
+def strip_tag(tagged: int) -> int:
+    """The Top-Byte-Ignore view: the dereferenceable 48-bit address."""
+    return tagged & ADDRESS_MASK
+
+
+def config_bit(tagged: int) -> int:
+    """The configuration bit: 1 = OASIS, 0 = OASIS-InMem."""
+    return (tagged >> ADDR_BITS) & 1

@@ -1,0 +1,94 @@
+"""The Object Tracker (Section V-B).
+
+Wraps the allocation API: every ``cudaMallocManaged`` call is assigned an
+Obj_ID in allocation order ("the first allocated object is assigned the ID
+0000, the second 0001, and so forth") and the returned pointer is tagged
+with that ID plus the configuration bit.
+
+In the simulator, traces carry raw page numbers, so the tracker also keeps
+the reverse map from allocation to object used to emulate the hardware's
+tag extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pointer import decode_pointer, encode_pointer, strip_tag
+
+
+@dataclass(frozen=True)
+class TrackedObject:
+    """One allocation as the tracker sees it."""
+
+    name: str
+    obj_id: int
+    base: int
+    size: int
+    tagged_pointer: int
+
+
+class ObjectTracker:
+    """Assigns Obj_IDs at allocation time and tags pointers."""
+
+    def __init__(self, obj_id_bits: int = 4, config_bit: int = 1) -> None:
+        """Create a tracker.
+
+        Args:
+            obj_id_bits: width of the pointer tag's Obj_ID field.
+            config_bit: 1 for hardware OASIS, 0 for OASIS-InMem.
+        """
+        if config_bit not in (0, 1):
+            raise ValueError("config bit must be 0 or 1")
+        self._obj_id_bits = obj_id_bits
+        self._config = config_bit
+        self._next_id = 0
+        self._objects: dict[int, TrackedObject] = {}
+
+    @property
+    def obj_id_bits(self) -> int:
+        return self._obj_id_bits
+
+    @property
+    def config(self) -> int:
+        return self._config
+
+    @property
+    def live_objects(self) -> int:
+        return len(self._objects)
+
+    def malloc_managed(self, base: int, size: int, name: str = "") -> TrackedObject:
+        """Register an allocation and return the tagged pointer wrapper.
+
+        The Obj_ID wraps at the field width: with 4 tag bits the 17th
+        allocation reuses ID 0, exactly the aliasing a 4-bit hardware tag
+        would produce (the O-Table LRU keeps only recently-hot objects so
+        aliasing between long-dead and live objects is harmless).
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        obj_id = self._next_id
+        self._next_id += 1
+        tag_id = obj_id % (1 << self._obj_id_bits)
+        tagged = encode_pointer(base, tag_id, self._config, self._obj_id_bits)
+        obj = TrackedObject(
+            name=name, obj_id=obj_id, base=base, size=size, tagged_pointer=tagged
+        )
+        self._objects[obj_id] = obj
+        return obj
+
+    def free(self, obj_id: int) -> bool:
+        """Forget an allocation; True if it was live."""
+        return self._objects.pop(obj_id, None) is not None
+
+    def object_for(self, obj_id: int) -> TrackedObject | None:
+        return self._objects.get(obj_id)
+
+    def extract_obj_id(self, tagged_pointer: int) -> int:
+        """Hardware tag extraction: the Obj_ID field of a tagged pointer."""
+        _addr, obj_id, _config = decode_pointer(tagged_pointer, self._obj_id_bits)
+        return obj_id
+
+    def dereference(self, tagged_pointer: int) -> int:
+        """The address the hardware actually dereferences (TBI masking)."""
+        return strip_tag(tagged_pointer)

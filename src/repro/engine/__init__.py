@@ -1,0 +1,19 @@
+"""Minimal discrete-event machinery shared by the simulator components.
+
+The trace-driven simulator is mostly analytical, but two pieces of real
+event bookkeeping remain:
+
+* :class:`~repro.engine.events.EventQueue` — a priority queue of timestamped
+  events, used by tests and by components that need ordered retirement.
+* :class:`~repro.engine.server.SerialServer` — a single-server FIFO queue
+  used to model the UVM driver, which services page faults one at a time on
+  the host CPU.
+* :class:`~repro.engine.counters.StatCounters` — hierarchical event counters
+  every component reports into.
+"""
+
+from repro.engine.counters import StatCounters
+from repro.engine.events import Event, EventQueue
+from repro.engine.server import SerialServer
+
+__all__ = ["Event", "EventQueue", "SerialServer", "StatCounters"]

@@ -1,0 +1,69 @@
+"""Hierarchical statistics counters.
+
+Every simulator component increments named counters (``"fault.shared"``,
+``"migration.count"``, ...).  :class:`StatCounters` is a defaultdict-like
+accumulator with helpers for merging and prefix queries, used to build the
+per-experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator, Mapping
+
+
+class StatCounters:
+    """Named numeric counters with prefix grouping."""
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: dict[str, float] = defaultdict(float)
+        if initial:
+            for key, value in initial.items():
+                self._counts[key] = float(value)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self):
+        """Iterate ``(name, value)`` pairs in sorted name order."""
+        return sorted(self._counts.items())
+
+    def total(self, prefix: str) -> float:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counts.items() if k.startswith(prefix))
+
+    def group(self, prefix: str) -> dict[str, float]:
+        """All counters under ``prefix`` with the prefix stripped."""
+        plen = len(prefix)
+        return {
+            k[plen:].lstrip("."): v
+            for k, v in self._counts.items()
+            if k.startswith(prefix)
+        }
+
+    def merge(self, other: "StatCounters") -> "StatCounters":
+        """Add another counter set into this one; returns self."""
+        for key, value in other._counts.items():
+            self._counts[key] += value
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict snapshot."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"StatCounters({body})"

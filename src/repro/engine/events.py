@@ -1,0 +1,84 @@
+"""Timestamped event queue.
+
+A thin wrapper around :mod:`heapq` providing stable FIFO ordering for
+events that carry identical timestamps (heapq alone would compare payloads,
+which is both fragile and semantically wrong for simulation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulation event.
+
+    Attributes:
+        time: Simulation timestamp in nanoseconds.
+        kind: Free-form event type tag (e.g. ``"fault"``, ``"migrate"``).
+        payload: Arbitrary event data.
+    """
+
+    time: float
+    kind: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+@dataclass(order=True)
+class _HeapItem:
+    time: float
+    seq: int
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects ordered by time, then FIFO."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapItem] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(self._heap, _HeapItem(event.time, next(self._seq), event))
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Create an event and insert it; returns the event."""
+        event = Event(time, kind, payload)
+        self.push(event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        return heapq.heappop(self._heap).event
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0].event
+
+    def drain(self) -> list[Event]:
+        """Pop every event in order and return them as a list."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out

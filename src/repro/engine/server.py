@@ -1,0 +1,64 @@
+"""Single-server FIFO queue model.
+
+The UVM driver runs on the host CPU and services page faults essentially
+one at a time (per fault batch); when many GPUs fault concurrently the
+driver becomes the bottleneck.  :class:`SerialServer` models this: work
+arrives with a ready time, waits for the server to be free, and completes
+after its service time.  The caller learns the completion time and can
+charge the wait to the faulting GPU.
+"""
+
+from __future__ import annotations
+
+
+class SerialServer:
+    """A single server processing requests FIFO.
+
+    Requests are submitted with an *arrival* time (when the requester is
+    ready) and a *service* duration.  The server starts a request at
+    ``max(arrival, free_at)`` and is then busy for the service duration.
+    """
+
+    def __init__(self) -> None:
+        self._free_at = 0.0
+        self._busy_total = 0.0
+        self._requests = 0
+
+    @property
+    def free_at(self) -> float:
+        """Time at which the server next becomes idle."""
+        return self._free_at
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the server has spent servicing requests."""
+        return self._busy_total
+
+    @property
+    def request_count(self) -> int:
+        """Number of requests serviced so far."""
+        return self._requests
+
+    def submit(self, arrival: float, service: float) -> float:
+        """Submit one request; returns its completion time.
+
+        Args:
+            arrival: Time the request becomes ready.
+            service: Service duration (must be non-negative).
+        """
+        if service < 0:
+            raise ValueError("service time must be non-negative")
+        if arrival < 0:
+            raise ValueError("arrival time must be non-negative")
+        start = max(arrival, self._free_at)
+        done = start + service
+        self._free_at = done
+        self._busy_total += service
+        self._requests += 1
+        return done
+
+    def reset(self) -> None:
+        """Forget all state (used at phase boundaries in tests)."""
+        self._free_at = 0.0
+        self._busy_total = 0.0
+        self._requests = 0

@@ -1,0 +1,24 @@
+"""Experiment harness: one entry per paper table/figure.
+
+Use :func:`~repro.harness.experiments.run_experiment` (or the benchmarks
+under ``benchmarks/``) to regenerate any table or figure of the paper::
+
+    from repro.harness import run_experiment
+    result = run_experiment("fig15")
+    print(result.render())
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import ExperimentResult, format_table, geomean
+from repro.harness.runner import clear_cache, run_sim, speedup_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "clear_cache",
+    "format_table",
+    "geomean",
+    "run_experiment",
+    "run_sim",
+    "speedup_table",
+]

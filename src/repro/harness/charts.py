@@ -1,0 +1,115 @@
+"""ASCII bar charts for experiment reports.
+
+The paper's performance figures are grouped bar charts; these helpers
+render the same series as fixed-width text so a report is readable
+without plotting libraries (none are available in this environment).
+"""
+
+from __future__ import annotations
+
+#: Glyph used for bar bodies.
+BAR = "#"
+
+#: Maximum bar width in characters.
+DEFAULT_WIDTH = 44
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    width: int = DEFAULT_WIDTH,
+    reference: float | None = None,
+) -> str:
+    """Render one horizontal bar per ``(label, value)`` item.
+
+    Args:
+        items: labelled non-negative values.
+        width: width (in characters) of the largest bar.
+        reference: optional value to mark with a ``|`` tick on each row
+            (e.g. the 1.0 baseline of a normalized-speedup chart).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    if not items:
+        return "(no data)"
+    if any(value < 0 for _label, value in items):
+        raise ValueError("bar values must be non-negative")
+    peak = max(value for _label, value in items)
+    if reference is not None:
+        peak = max(peak, reference)
+    if peak == 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _value in items)
+    # Divide by the peak first: ``width / peak`` can overflow for
+    # subnormal peaks, while ``value / peak`` is always in [0, 1].
+    ref_col = (
+        round(reference / peak * width) if reference is not None else None
+    )
+    lines = []
+    for label, value in items:
+        bar_len = round(value / peak * width)
+        bar = BAR * bar_len
+        if ref_col is not None and ref_col <= width:
+            row = list(bar.ljust(width))
+            tick_at = min(max(ref_col - 1, 0), width - 1)
+            row[tick_at] = "|" if row[tick_at] == " " else "+"
+            bar = "".join(row).rstrip()
+        lines.append(f"{label.rjust(label_width)} {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: list[list],
+    headers: list[str],
+    value_columns: list[int],
+    width: int = DEFAULT_WIDTH,
+    reference: float | None = 1.0,
+) -> str:
+    """Render a speedup table (one group per row) as stacked bar groups.
+
+    Args:
+        rows: table rows, first column the group label.
+        headers: column names (for the per-bar series labels).
+        value_columns: indices of the numeric columns to chart.
+        width: bar width budget.
+        reference: baseline tick (1.0 for normalized charts).
+    """
+    groups = []
+    for row in rows:
+        items = [(headers[c], float(row[c])) for c in value_columns]
+        chart = bar_chart(items, width=width, reference=reference)
+        groups.append(f"{row[0]}:\n{_indent(chart)}")
+    return "\n".join(groups)
+
+
+def _indent(text: str, by: int = 2) -> str:
+    pad = " " * by
+    return "\n".join(pad + line for line in text.splitlines())
+
+
+def experiment_chart(result, width: int = DEFAULT_WIDTH) -> str:
+    """Chart an :class:`~repro.harness.report.ExperimentResult`.
+
+    For speedup tables (rows of ``[app, value...]`` with a geomean row)
+    this renders the geomean row as one bar per policy with a 1.0
+    baseline tick; other experiments chart their first numeric column per
+    row.  Returns ``"(not chartable)"`` when no numeric data exists.
+    """
+    numeric_cols = [
+        c for c in range(1, len(result.headers))
+        if result.rows and all(
+            isinstance(row[c], (int, float)) for row in result.rows
+        )
+    ]
+    if not numeric_cols or not result.rows:
+        return "(not chartable)"
+    by_label = {row[0]: row for row in result.rows}
+    if "geomean" in by_label and len(numeric_cols) > 1:
+        row = by_label["geomean"]
+        items = [(result.headers[c], float(row[c])) for c in numeric_cols]
+        return bar_chart(items, width=width, reference=1.0)
+    col = numeric_cols[0]
+    items = [(str(row[0]), float(row[col])) for row in result.rows]
+    return bar_chart(items, width=width)

@@ -1,0 +1,94 @@
+"""Cached simulation runner.
+
+Several figures share (config, workload, policy) combinations — Fig. 2 is
+a subset of Fig. 15, Figs. 22/23/24 reuse the same OASIS/GRIT runs — so
+simulation results are memoized per process.  ``SystemConfig`` is a frozen
+dataclass, which makes the full configuration part of the cache key.
+"""
+
+from __future__ import annotations
+
+from repro import POLICY_FACTORIES, make_policy
+from repro.config import SystemConfig
+from repro.harness.report import geomean
+from repro.sim import SimulationResult, simulate
+from repro.workloads import get_workload
+
+_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized simulation results."""
+    _CACHE.clear()
+
+
+def run_sim(
+    config: SystemConfig,
+    app: str,
+    policy: str,
+    *,
+    footprint_mb: float | None = None,
+    seed: int = 0,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Simulate one (config, app, policy) combination, memoized."""
+    if policy not in POLICY_FACTORIES:
+        known = ", ".join(sorted(POLICY_FACTORIES))
+        raise ValueError(f"unknown policy {policy!r}; known: {known}")
+    key = (
+        config,
+        app,
+        policy,
+        footprint_mb,
+        seed,
+        tuple(sorted(policy_kwargs.items())),
+    )
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    trace = get_workload(app, config, footprint_mb=footprint_mb, seed=seed)
+    result = simulate(config, trace, make_policy(policy, **policy_kwargs))
+    _CACHE[key] = result
+    return result
+
+
+def speedup_table(
+    config: SystemConfig,
+    apps: list[str],
+    policies: list[str],
+    baseline: str = "on_touch",
+    baseline_config: SystemConfig | None = None,
+    footprint_mb: dict[str, float] | None = None,
+) -> tuple[list[list], dict[str, float]]:
+    """Speedups of each policy over the baseline, per app plus geomean.
+
+    Args:
+        config: configuration for the evaluated policies.
+        apps: application names (rows).
+        policies: policy names (columns).
+        baseline: the normalization policy (on-touch in every figure).
+        baseline_config: optional distinct config for the baseline run
+            (defaults to ``config``).
+        footprint_mb: optional per-app footprint override.
+
+    Returns:
+        ``(rows, geomeans)`` where each row is
+        ``[app, speedup_policy1, ...]`` and ``geomeans`` maps policy name
+        to its geometric-mean speedup.
+    """
+    base_cfg = baseline_config or config
+    rows = []
+    per_policy: dict[str, list[float]] = {p: [] for p in policies}
+    for app in apps:
+        mb = footprint_mb.get(app) if footprint_mb else None
+        base = run_sim(base_cfg, app, baseline, footprint_mb=mb)
+        row: list = [app]
+        for policy in policies:
+            result = run_sim(config, app, policy, footprint_mb=mb)
+            speedup = result.speedup_over(base)
+            row.append(speedup)
+            per_policy[policy].append(speedup)
+        rows.append(row)
+    geomeans = {p: geomean(v) for p, v in per_policy.items()}
+    rows.append(["geomean", *(geomeans[p] for p in policies)])
+    return rows, geomeans

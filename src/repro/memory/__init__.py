@@ -1,0 +1,44 @@
+"""Memory-system substrate: pages, page tables, counters, capacity.
+
+This package owns all state that the UVM driver and the page-management
+policies manipulate:
+
+* :mod:`repro.memory.page` — PTE policy-bit encoding (Fig. 12) and access
+  kinds.
+* :mod:`repro.memory.address_space` — virtual-address allocation for
+  objects and per-device physical address ranges (the host page table
+  distinguishes private from shared pages by physical address range,
+  Section V-D).
+* :mod:`repro.memory.page_table` — the per-GPU local page tables plus the
+  centralized host page table, stored as dense arrays over the global page
+  index.
+* :mod:`repro.memory.counters` — hardware access counters (256 remote
+  accesses per 64 KB group).
+* :mod:`repro.memory.capacity` — per-GPU residency tracking and LRU
+  eviction for the oversubscription study (Fig. 25).
+"""
+
+from repro.memory.address_space import DeviceAddressMap, VirtualAllocator
+from repro.memory.capacity import CapacityManager
+from repro.memory.counters import AccessCounterFile
+from repro.memory.page import (
+    POLICY_COUNTER,
+    POLICY_DUPLICATION,
+    POLICY_ON_TOUCH,
+    AccessType,
+    policy_name,
+)
+from repro.memory.page_table import PageTables
+
+__all__ = [
+    "AccessCounterFile",
+    "AccessType",
+    "CapacityManager",
+    "DeviceAddressMap",
+    "PageTables",
+    "POLICY_COUNTER",
+    "POLICY_DUPLICATION",
+    "POLICY_ON_TOUCH",
+    "VirtualAllocator",
+    "policy_name",
+]

@@ -1,0 +1,78 @@
+"""Page-level constants: PTE policy bits and access kinds.
+
+OASIS reserves two unused PTE bits (bits 10:9 of the 4 KB PTE, Fig. 12) to
+record the page-management policy so both the CPU and the GPUs can identify
+the policy to apply:
+
+* ``"00"`` — on-touch migration (the default),
+* ``"01"`` — access-counter-based migration,
+* ``"11"`` — duplication.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: PTE policy bits "00": on-touch migration (default).
+POLICY_ON_TOUCH = 0b00
+#: PTE policy bits "01": access-counter-based migration.
+POLICY_COUNTER = 0b01
+#: PTE policy bits "11": page duplication.
+POLICY_DUPLICATION = 0b11
+
+_POLICY_NAMES = {
+    POLICY_ON_TOUCH: "on_touch",
+    POLICY_COUNTER: "access_counter",
+    POLICY_DUPLICATION: "duplication",
+}
+
+
+def policy_name(bits: int) -> str:
+    """Human-readable name for PTE policy bits."""
+    try:
+        return _POLICY_NAMES[bits]
+    except KeyError:
+        raise ValueError(f"invalid PTE policy bits: {bits:#04b}") from None
+
+
+class AccessType(enum.IntEnum):
+    """Kind of one memory access as seen by the memory system."""
+
+    READ = 0
+    WRITE = 1
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+def pte_encode(pfn: int, policy_bits: int, valid: bool, writable: bool) -> int:
+    """Pack a 64-bit PTE per the Fig. 12 layout.
+
+    Bits 51:12 hold the PFN, bits 10:9 the policy, bit 0 valid (present),
+    bit 1 writable.  Used by the page-table unit tests to demonstrate the
+    layout is representable; the simulator itself keeps the fields in
+    separate arrays for speed.
+    """
+    if pfn < 0 or pfn >= (1 << 40):
+        raise ValueError("PFN must fit in bits 51:12")
+    if policy_bits not in _POLICY_NAMES:
+        raise ValueError(f"invalid PTE policy bits: {policy_bits:#04b}")
+    word = (pfn & ((1 << 40) - 1)) << 12
+    word |= (policy_bits & 0b11) << 9
+    word |= int(bool(valid))
+    word |= int(bool(writable)) << 1
+    return word
+
+
+def pte_decode(word: int) -> tuple[int, int, bool, bool]:
+    """Unpack a PTE packed by :func:`pte_encode`.
+
+    Returns:
+        ``(pfn, policy_bits, valid, writable)``.
+    """
+    pfn = (word >> 12) & ((1 << 40) - 1)
+    policy_bits = (word >> 9) & 0b11
+    valid = bool(word & 1)
+    writable = bool(word & 2)
+    return pfn, policy_bits, valid, writable

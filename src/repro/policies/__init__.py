@@ -1,0 +1,39 @@
+"""Page-management policy engines.
+
+Uniform policies (applied to every page, Section II-B):
+
+* :class:`~repro.policies.on_touch.OnTouchPolicy` — the baseline.
+* :class:`~repro.policies.access_counter.AccessCounterPolicy`
+* :class:`~repro.policies.duplication.DuplicationPolicy`
+* :class:`~repro.policies.ideal.IdealPolicy` — the paper's hypothetical
+  upper bound (Section IV-A).
+
+Adaptive comparator:
+
+* :class:`~repro.policies.grit.GritPolicy` — per-page learned policy
+  (GRIT, HPCA 2024), reconstructed from the paper's description.
+
+A static-hints strawman (:class:`~repro.policies.static_advise.
+StaticAdvisePolicy`) emulates ``cudaMemAdvise``-style compile-time advice
+for comparison (the paper's Related Work discussion).
+
+OASIS itself lives in :mod:`repro.core`.
+"""
+
+from repro.policies.access_counter import AccessCounterPolicy
+from repro.policies.base import PolicyEngine
+from repro.policies.duplication import DuplicationPolicy
+from repro.policies.grit import GritPolicy
+from repro.policies.ideal import IdealPolicy
+from repro.policies.on_touch import OnTouchPolicy
+from repro.policies.static_advise import StaticAdvisePolicy
+
+__all__ = [
+    "AccessCounterPolicy",
+    "DuplicationPolicy",
+    "GritPolicy",
+    "IdealPolicy",
+    "OnTouchPolicy",
+    "PolicyEngine",
+    "StaticAdvisePolicy",
+]

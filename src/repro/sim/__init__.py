@@ -1,0 +1,6 @@
+"""Trace-driven multi-GPU simulator."""
+
+from repro.sim.machine import Machine, simulate
+from repro.sim.results import PhaseResult, SimulationResult
+
+__all__ = ["Machine", "PhaseResult", "SimulationResult", "simulate"]

@@ -1,0 +1,301 @@
+"""The multi-GPU machine: assembles all components and replays traces.
+
+:class:`Machine` wires together the page tables, TLBs, interconnect,
+access counters, capacity manager and UVM driver for one simulation run,
+attaches a policy engine, and replays a :class:`~repro.workloads.base.Trace`
+phase by phase.
+
+Timing model (see DESIGN.md §4): every GPU accumulates latency on its own
+clock; overlappable access latency is divided by the memory-level-
+parallelism factor while fault stalls are divided by the (much smaller)
+fault-parallelism factor and serialize through the driver's FIFO queue.  A
+phase ends when the slowest GPU, the driver, and the busiest link have all
+drained; clocks re-synchronize at phase boundaries (kernels are barriers).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import HOST, SystemConfig
+from repro.engine import StatCounters
+from repro.interconnect import Topology
+from repro.memory import AccessCounterFile, CapacityManager, PageTables
+from repro.memory.page import policy_name
+from repro.policies.base import PolicyEngine
+from repro.sim.results import PhaseResult, SimulationResult
+from repro.tlb import TLBHierarchy
+from repro.uvm import UVMDriver
+from repro.workloads.base import Trace
+
+#: Bytes moved per remote access transaction (GPU cache-line sized).
+REMOTE_ACCESS_BYTES = 128
+
+
+class Machine:
+    """One simulated multi-GPU system executing one trace."""
+
+    def __init__(
+        self, config: SystemConfig, trace: Trace, policy: PolicyEngine
+    ) -> None:
+        if trace.n_gpus != config.n_gpus:
+            raise ValueError(
+                f"trace was generated for {trace.n_gpus} GPUs but the config "
+                f"has {config.n_gpus}"
+            )
+        if trace.page_size != config.page_size:
+            raise ValueError(
+                f"trace page size {trace.page_size} != config page size "
+                f"{config.page_size}"
+            )
+        self.config = config
+        self.trace = trace
+        self.policy = policy
+        self.stats = StatCounters()
+        coherent = not getattr(policy, "requires_incoherent_page_tables", False)
+        self.page_tables = PageTables(
+            n_pages=trace.n_pages,
+            n_gpus=config.n_gpus,
+            initial_placement=config.initial_placement,
+            first_page=trace.first_page,
+            coherent=coherent,
+        )
+        self.topology = Topology(config.n_gpus, config.latency)
+        self.tlbs = [
+            TLBHierarchy(config.l1_tlb, config.l2_tlb, config.latency)
+            for _ in range(config.n_gpus)
+        ]
+        self.access_counters = AccessCounterFile(
+            n_gpus=config.n_gpus,
+            pages_per_group=config.pages_per_counter_group,
+            threshold=config.access_counter_threshold,
+        )
+        self.capacity = CapacityManager(
+            config.n_gpus, self._capacity_pages_per_gpu()
+        )
+        self.driver = UVMDriver(
+            config=config,
+            page_tables=self.page_tables,
+            topology=self.topology,
+            tlbs=self.tlbs,
+            capacity=self.capacity,
+            counters=self.access_counters,
+            stats=self.stats,
+        )
+        self.clocks = [0.0] * config.n_gpus
+        self._fault_keys = [f"fault.by_gpu.{g}" for g in range(config.n_gpus)]
+        self._object_fault_keys = [
+            f"fault.by_object.{obj.name}" for obj in trace.objects
+        ]
+        #: Object lookup by page: dense array over the tracked page range.
+        self._obj_of_page = self._build_object_map()
+        #: L2-TLB-miss counts per policy name (Fig. 23).
+        self.l2_miss_policy_counts: dict[str, int] = {}
+        self._allocated: set[int] = set()
+        policy.attach(self)
+
+    # -- setup helpers ----------------------------------------------------
+
+    def _capacity_pages_per_gpu(self) -> int | None:
+        factor = self.config.oversubscription
+        if factor is None:
+            return None
+        data_pages = sum(o.n_pages for o in self.trace.objects)
+        capacity = int(data_pages / (self.config.n_gpus * factor))
+        return max(1, capacity)
+
+    def _build_object_map(self) -> list[int]:
+        mapping = [-1] * self.trace.n_pages
+        base = self.trace.first_page
+        for obj in self.trace.objects:
+            start = obj.first_page - base
+            for i in range(start, start + obj.n_pages):
+                mapping[i] = obj.obj_id
+        return mapping
+
+    # -- services used by policy engines -------------------------------------
+
+    def object_id_of(self, page: int) -> int:
+        """Obj_ID of the object covering ``page`` (-1 if none)."""
+        return self._obj_of_page[page - self.trace.first_page]
+
+    def tracks_page(self, page: int) -> bool:
+        """True if the page belongs to the traced address range."""
+        offset = page - self.trace.first_page
+        return 0 <= offset < self.trace.n_pages and self._obj_of_page[offset] >= 0
+
+    def set_all_policy_bits(self, bits: int) -> None:
+        """Stamp every object page with the given PTE policy bits."""
+        for obj in self.trace.objects:
+            self.page_tables.set_policy_range(obj.first_page, obj.n_pages, bits)
+
+    def charge_driver_op(self, gpu: int, service_ns: float) -> None:
+        """Run a driver operation (e.g. counter migration) for ``gpu``.
+
+        The operation queues behind other driver work; the GPU observes a
+        partially-overlapped stall.
+        """
+        lat = self.config.latency
+        done = self.driver.queue.submit(
+            self.clocks[gpu], lat.fault_driver_occupancy_ns + service_ns
+        )
+        stall = done - self.clocks[gpu]
+        self.clocks[gpu] += stall / lat.fault_parallelism
+
+    # -- the access path -------------------------------------------------------
+
+    def access(self, gpu: int, page: int, is_write: bool, weight: int) -> None:
+        """Replay one trace record: ``weight`` accesses by ``gpu`` to ``page``."""
+        lat = self.config.latency
+        pt = self.page_tables
+        clocks = self.clocks
+        clocks[gpu] += weight * lat.compute_ns_per_access
+        if self.capacity.enabled:
+            self.capacity.note_access(gpu, page)
+        tlb = self.tlbs[gpu]
+        if not pt.is_mapped(gpu, page):
+            # Translation fails after a full TLB + walk attempt: page fault.
+            cost_ns, l2_miss = tlb.translate_fast(page)
+            if l2_miss:
+                self._note_l2_miss(page)
+            clocks[gpu] += cost_ns / lat.mem_parallelism
+            self._fault(gpu, page, is_write, protection=False)
+            weight -= 1
+            if weight <= 0:
+                return
+            # Remaining accesses in the record proceed with the new mapping.
+        cost, l2_miss = tlb.translate_fast(page)
+        if l2_miss:
+            self._note_l2_miss(page)
+        if pt.has_copy(gpu, page):
+            if is_write and not pt.is_writable(gpu, page):
+                # Write to a read-only duplicate: page-protection fault,
+                # then the remaining accesses are local writes.
+                clocks[gpu] += cost / lat.mem_parallelism
+                self._fault(gpu, page, is_write=True, protection=True)
+                cost = 0.0
+            cost += lat.local_access_ns * weight
+            clocks[gpu] += cost / lat.mem_parallelism
+            self.stats.add("access.local", weight)
+        else:
+            owner = pt.location(page)
+            if owner == HOST:
+                per_access = lat.host_access_ns
+                self.stats.add("access.host", weight)
+            else:
+                per_access = lat.remote_access_ns
+                self.stats.add("access.remote", weight)
+            clocks[gpu] += cost / lat.mem_parallelism
+            clocks[gpu] += per_access * weight / lat.remote_parallelism
+            if owner != gpu:
+                self.topology.record_transfer(
+                    gpu, owner, REMOTE_ACCESS_BYTES * weight
+                )
+            self.policy.on_remote_access(gpu, page, is_write, weight)
+
+    def _note_l2_miss(self, page: int) -> None:
+        name = policy_name(self.page_tables.policy(page))
+        counts = self.l2_miss_policy_counts
+        counts[name] = counts.get(name, 0) + 1
+
+    def _fault(self, gpu: int, page: int, is_write: bool, protection: bool) -> None:
+        lat = self.config.latency
+        self.stats.add(self._fault_keys[gpu])
+        obj_id = self._obj_of_page[page - self.trace.first_page]
+        if obj_id >= 0:
+            self.stats.add(self._object_fault_keys[obj_id])
+        if protection:
+            self.stats.add("fault.protection")
+            resolution = self.policy.on_protection_fault(gpu, page)
+        else:
+            self.stats.add("fault.page")
+            resolution = self.policy.on_fault(gpu, page, is_write)
+        # The driver CPU is occupied for its (batched) per-fault share plus
+        # the resolution work; the GPU additionally pays the fault round
+        # trip, partially overlapped with other wavefronts.
+        service = lat.fault_driver_occupancy_ns + resolution
+        done = self.driver.queue.submit(self.clocks[gpu], service)
+        stall = (done - self.clocks[gpu]) + lat.fault_service_ns
+        self.clocks[gpu] += stall / lat.fault_parallelism
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay every phase and return the result."""
+        phases: list[PhaseResult] = []
+        now = 0.0
+        for index, phase in enumerate(self.trace.phases):
+            self._do_allocations(index)
+            self.policy.on_phase_start(index, phase)
+            phase_result = self._run_phase(phase, start_time=now)
+            phases.append(phase_result)
+            now += phase_result.duration_ns
+            self._sync_clocks(now)
+            self._do_frees(index)
+        return SimulationResult(
+            workload=self.trace.name,
+            policy=self.policy.name,
+            n_gpus=self.config.n_gpus,
+            page_size=self.config.page_size,
+            total_time_ns=now,
+            phases=phases,
+            stats=self.stats.as_dict(),
+            traffic=self.topology.traffic_snapshot(),
+            policy_histogram=self.page_tables.policy_histogram(),
+            l2_miss_policy_counts=dict(self.l2_miss_policy_counts),
+        )
+
+    def _do_allocations(self, phase_index: int) -> None:
+        for obj in self.trace.objects:
+            if obj.alloc_phase == phase_index and obj.obj_id not in self._allocated:
+                self._allocated.add(obj.obj_id)
+                self.policy.on_alloc(obj)
+
+    def _do_frees(self, phase_index: int) -> None:
+        for obj in self.trace.objects:
+            if obj.free_phase == phase_index:
+                self.policy.on_free(obj)
+
+    def _run_phase(self, phase, start_time: float) -> PhaseResult:
+        link_busy_before = [link.busy_time_ns for link in self.topology.links()]
+        driver_busy_before = self.driver.queue.busy_time
+        access = self.access
+        for gpu, page, write, weight in phase.records():
+            access(gpu, page, bool(write), weight)
+        gpu_busy = max(
+            (clock - start_time for clock in self.clocks), default=0.0
+        )
+        gpu_busy = max(gpu_busy, 0.0)
+        driver_busy = self.driver.queue.busy_time - driver_busy_before
+        link_busy = max(
+            (
+                after.busy_time_ns - before
+                for after, before in zip(self.topology.links(), link_busy_before)
+            ),
+            default=0.0,
+        )
+        duration = max(gpu_busy, driver_busy, link_busy)
+        if not math.isfinite(duration):
+            raise RuntimeError(f"non-finite phase duration in {phase.name!r}")
+        return PhaseResult(
+            name=phase.name,
+            explicit=phase.explicit,
+            duration_ns=duration,
+            gpu_busy_ns=gpu_busy,
+            driver_busy_ns=driver_busy,
+            link_busy_ns=link_busy,
+        )
+
+    def _sync_clocks(self, now: float) -> None:
+        """Kernel boundaries are barriers: everyone meets at ``now``."""
+        for gpu in range(self.config.n_gpus):
+            self.clocks[gpu] = now
+        if self.driver.queue.free_at < now:
+            self.driver.queue.submit(now, 0.0)
+
+
+def simulate(
+    config: SystemConfig, trace: Trace, policy: PolicyEngine
+) -> SimulationResult:
+    """Convenience wrapper: build a machine, run it, return the result."""
+    return Machine(config, trace, policy).run()

@@ -1,0 +1,276 @@
+"""UVM driver primitives.
+
+Every page-management policy in this repo resolves faults through the five
+primitives below.  Each primitive mutates the page tables, shoots down stale
+TLB entries, records link traffic, keeps the capacity manager honest, bumps
+the shared :class:`~repro.engine.StatCounters`, and returns the latency the
+faulting GPU pays (beyond the fixed fault-service cost, which the machine
+charges through the driver's serial queue).
+
+Primitives:
+
+* :meth:`UVMDriver.migrate` — move the page's single authoritative copy to
+  a GPU (on-touch resolution, counter-threshold resolution).
+* :meth:`UVMDriver.duplicate` — add a read-only copy on a GPU, demoting any
+  writable mapping elsewhere.
+* :meth:`UVMDriver.collapse` — make a GPU the exclusive writable holder,
+  invalidating every duplicate (*page write-collapse*).
+* :meth:`UVMDriver.map_remote` — install a PTE pointing at the remote copy
+  (counter-based policy's zero-copy resolution).
+* :meth:`UVMDriver.evict` — push a page back to host memory (capacity).
+"""
+
+from __future__ import annotations
+
+from repro.config import HOST, SystemConfig
+from repro.engine import SerialServer, StatCounters
+from repro.interconnect import Topology
+from repro.memory import AccessCounterFile, CapacityManager, PageTables
+from repro.tlb import TLBHierarchy
+
+
+class UVMDriver:
+    """The host-side UVM driver: page-management primitives + fault queue."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        page_tables: PageTables,
+        topology: Topology,
+        tlbs: list[TLBHierarchy],
+        capacity: CapacityManager,
+        counters: AccessCounterFile,
+        stats: StatCounters,
+    ) -> None:
+        self.config = config
+        self.page_tables = page_tables
+        self.topology = topology
+        self.tlbs = tlbs
+        self.capacity = capacity
+        self.counters = counters
+        self.stats = stats
+        #: FIFO model of the driver CPU servicing faults one at a time.
+        self.queue = SerialServer()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _shootdown(self, page: int, victims: list[int]) -> float:
+        """Invalidate TLB entries on ``victims``; returns the latency."""
+        cost = 0.0
+        for gpu in victims:
+            self.tlbs[gpu].shootdown(page)
+            cost += self.config.latency.pte_invalidate_ns
+            self.stats.add("shootdown.count")
+        return cost
+
+    def _nearest_source(self, page: int, dst: int) -> int:
+        """Pick the device to copy ``page``'s data from.
+
+        Prefers a GPU copy (NVLink is far faster than PCIe) and falls back
+        to the owner (possibly the host).
+        """
+        owner = self.page_tables.location(page)
+        for gpu in self.page_tables.copy_holders(page):
+            if gpu != dst:
+                return gpu
+        return owner
+
+    def _transfer(self, src: int, dst: int) -> float:
+        """Move one page of data between devices; returns the latency."""
+        n_bytes = self.config.page_size
+        time = self.topology.record_transfer(src, dst, n_bytes)
+        if src == HOST or dst == HOST:
+            self.stats.add("traffic.pcie_bytes", n_bytes)
+        else:
+            self.stats.add("traffic.nvlink_bytes", n_bytes)
+        return time
+
+    def _maybe_evict(self, gpu: int, protect: int) -> float:
+        """Evict LRU pages from ``gpu`` until it fits; returns the latency."""
+        if not self.capacity.enabled:
+            return 0.0
+        cost = 0.0
+        while self.capacity.needs_eviction(gpu):
+            victim = self.capacity.pick_victim(gpu, protect=protect)
+            cost += self.evict_from(gpu, victim)
+        return cost
+
+    # -- primitives ----------------------------------------------------------
+
+    def migrate(self, gpu: int, page: int) -> float:
+        """Move the page to ``gpu``'s memory as the exclusive writable copy."""
+        pt = self.page_tables
+        src = self._nearest_source(page, gpu)
+        victims = pt.unmap_all_except(page, keep=None)
+        cost = self._shootdown(page, victims)
+        for holder in pt.copy_holders(page):
+            if holder != gpu:
+                self.capacity.note_released(holder, page)
+        already_local = pt.has_copy(gpu, page)
+        if not already_local:
+            cost += self._transfer(src, gpu)
+        pt.set_exclusive(page, gpu)
+        pt.map_local(gpu, page, writable=True)
+        self.capacity.note_resident(gpu, page)
+        self.counters.reset_group(page)
+        self.stats.add("migration.count")
+        self.stats.add("migration.bytes", self.config.page_size)
+        cost += self.config.latency.pte_update_ns
+        cost += self._maybe_evict(gpu, protect=page)
+        return cost
+
+    def duplicate(self, gpu: int, page: int) -> float:
+        """Install a read-only copy of the page on ``gpu``."""
+        pt = self.page_tables
+        if pt.has_copy(gpu, page):
+            # Already a holder (e.g. owner re-mapping after invalidation):
+            # just (re)install a read-only PTE.
+            pt.add_copy(gpu, page)
+            pt.map_local(gpu, page, writable=False)
+            self.stats.add("duplication.remap")
+            return self.config.latency.pte_update_ns
+        src = self._nearest_source(page, gpu)
+        cost = self._transfer(src, gpu)
+        # Any current writer must be demoted to read-only before copies
+        # exist; that writer's stale TLB entry is shot down.
+        writer = next(
+            (
+                g
+                for g in pt.mapped_gpus(page)
+                if pt.is_writable(g, page)
+            ),
+            None,
+        )
+        pt.add_copy(gpu, page)
+        if writer is not None:
+            # Demote the old writer to read-only.  The PTE downgrade and
+            # its shootdown piggyback on this fault's resolution (the
+            # driver is already updating translations for the page), so
+            # only the cheap overlapped update cost is charged
+            # (Section V-E).
+            self.tlbs[writer].shootdown(page)
+            self.stats.add("shootdown.count")
+            cost += self.config.latency.pte_update_ns
+            pt.map_local(writer, page, writable=False)
+            self.stats.add("duplication.demotions")
+        pt.map_local(gpu, page, writable=False)
+        self.capacity.note_resident(gpu, page)
+        self.stats.add("duplication.count")
+        self.stats.add("duplication.bytes", self.config.page_size)
+        cost += self.config.latency.pte_update_ns
+        cost += self._maybe_evict(gpu, protect=page)
+        return cost
+
+    def collapse(self, gpu: int, page: int) -> float:
+        """Write-collapse: make ``gpu`` the exclusive writable holder."""
+        pt = self.page_tables
+        had_copy = pt.has_copy(gpu, page)
+        dropped_copies = sum(
+            1 for holder in pt.copy_holders(page) if holder != gpu
+        )
+        src = self._nearest_source(page, gpu)
+        victims = pt.unmap_all_except(page, keep=gpu)
+        cost = self._shootdown(page, victims)
+        # Revoking live read duplicates takes the heavyweight
+        # protection-fault path (Section II-B3's write-collapse cost).
+        # Dropping a single handoff copy costs no more than a migration's
+        # invalidation (charged via the shootdown above); every
+        # *additional* broadcast copy pays the extra revocation work, so
+        # widely-read pages collapse far more expensively.
+        cost += self.config.latency.collapse_overhead_ns * max(
+            0, dropped_copies - 1
+        )
+        for holder in pt.copy_holders(page):
+            if holder != gpu:
+                self.capacity.note_released(holder, page)
+        if not had_copy:
+            cost += self._transfer(src, gpu)
+        pt.set_exclusive(page, gpu)
+        pt.map_local(gpu, page, writable=True)
+        self.capacity.note_resident(gpu, page)
+        self.stats.add("collapse.count")
+        self.stats.add("collapse.invalidated_copies", len(victims))
+        cost += self.config.latency.pte_update_ns
+        cost += self._maybe_evict(gpu, protect=page)
+        return cost
+
+    def map_remote(self, gpu: int, page: int) -> float:
+        """Map the page into ``gpu``'s page table pointing at remote memory."""
+        self.page_tables.map_remote(gpu, page)
+        self.stats.add("remote_map.count")
+        return self.config.latency.pte_update_ns
+
+    def ideal_copy(self, gpu: int, page: int) -> float:
+        """Ideal-policy resolution: local copy, writable, no coherence.
+
+        Only valid on machines built with incoherent page tables (the
+        hypothetical Ideal configuration of Section IV-A).
+        """
+        pt = self.page_tables
+        cost = 0.0
+        if not pt.has_copy(gpu, page):
+            src = self._nearest_source(page, gpu)
+            cost += self._transfer(src, gpu)
+            pt.add_copy(gpu, page)
+            self.capacity.note_resident(gpu, page)
+            self.stats.add("duplication.count")
+        pt.map_local(gpu, page, writable=True)
+        cost += self.config.latency.pte_update_ns
+        cost += self._maybe_evict(gpu, protect=page)
+        return cost
+
+    def evict_from(self, gpu: int, page: int) -> float:
+        """Free ``page``'s frame on ``gpu`` under capacity pressure.
+
+        If the data also lives elsewhere (a read duplicate, or the owner
+        role can pass to another copy holder), only this GPU's copy is
+        dropped — no data movement.  Only a sole holder pays the full
+        writeback to host memory.
+        """
+        pt = self.page_tables
+        holders = pt.copy_holders(page)
+        if not pt.has_copy(gpu, page):
+            raise ValueError(f"GPU {gpu} holds no frame for page {page}")
+        others = [h for h in holders if h != gpu]
+        if not others:
+            return self.evict(page)
+        if pt.location(page) == gpu:
+            # Pass ownership to another holder; its copy is already the
+            # data, so no transfer is needed.
+            new_owner = others[0]
+            was_mapped = pt.is_mapped(gpu, page)
+            pt.unmap(gpu, page)
+            remaining = pt.copy_holders(page)
+            pt.set_exclusive(page, new_owner)
+            for holder in remaining:
+                if holder not in (gpu, new_owner):
+                    pt.add_copy(holder, page)
+        else:
+            was_mapped = pt.is_mapped(gpu, page)
+            pt.unmap(gpu, page)
+            pt.drop_copy(gpu, page)
+        cost = 0.0
+        if was_mapped:
+            cost += self._shootdown(page, [gpu])
+        self.capacity.note_released(gpu, page)
+        self.stats.add("eviction.copy_dropped")
+        return cost + self.config.latency.pte_update_ns
+
+    def evict(self, page: int) -> float:
+        """Evict the page to host memory (oversubscription pressure).
+
+        The PTE policy bits survive eviction — OASIS uses them to keep
+        treating a re-referenced evicted page as shared (Section VI-D).
+        """
+        pt = self.page_tables
+        victims = pt.unmap_all_except(page, keep=None)
+        cost = self._shootdown(page, victims)
+        holders = pt.copy_holders(page)
+        owner = pt.location(page)
+        for holder in holders:
+            self.capacity.note_released(holder, page)
+        if owner != HOST:
+            cost += self._transfer(owner, HOST)
+        pt.set_exclusive(page, HOST)
+        self.stats.add("eviction.count")
+        return cost

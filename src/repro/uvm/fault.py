@@ -1,0 +1,52 @@
+"""Page-fault taxonomy.
+
+Two fault kinds reach the UVM driver:
+
+* ``PAGE`` — the faulting GPU has no valid PTE for the page (classic UVM
+  page fault);
+* ``PROTECTION`` — the GPU has a valid read-only PTE (a duplicated page)
+  and attempted a write (the *page write-collapse* trigger).
+
+The x86 page-fault error code carries a ``W`` bit distinguishing read from
+write faults; the OASIS OP-Controller reads exactly that bit to classify a
+shared object's pattern (Section V-D cites the error-code W bit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Bit 1 of the page-fault error code: set when the access was a write.
+ERROR_CODE_W_BIT = 1 << 1
+
+
+class FaultKind(enum.Enum):
+    """Which kind of fault the driver received."""
+
+    PAGE = "page"
+    PROTECTION = "protection"
+
+
+@dataclass(frozen=True)
+class PageFault:
+    """One fault delivered to the UVM driver."""
+
+    gpu: int
+    page: int
+    is_write: bool
+    kind: FaultKind = FaultKind.PAGE
+
+    def __post_init__(self) -> None:
+        if self.kind is FaultKind.PROTECTION and not self.is_write:
+            raise ValueError("protection faults are write faults by definition")
+
+    @property
+    def error_code(self) -> int:
+        """x86-style error code; only the W bit is modelled."""
+        return ERROR_CODE_W_BIT if self.is_write else 0
+
+    @property
+    def w_bit(self) -> bool:
+        """The W bit of the error code (write fault)."""
+        return self.is_write

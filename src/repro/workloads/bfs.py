@@ -1,0 +1,62 @@
+"""BFS — Breadth-First Search (SHOC, random pattern, 5 objects).
+
+Frontier-driven traversal: each level, GPUs expand their share of the
+frontier, chasing edges into arbitrary partitions.  The CSR arrays
+(``BFS_Edges``, ``BFS_Offsets``) are read-shared with low per-page reuse;
+``BFS_Frontier`` and ``BFS_Visited`` are read-write-shared with random
+GPU placement, and ``BFS_Cost`` (the level/output array) is written by
+whichever GPU discovers the vertex.  Random low-reuse rw sharing makes
+on-touch ping-pong and duplication collapse-thrash; access-counter
+migration suits it best (Fig. 2 / Observation 3).
+
+Levels are *implicit* phases of a single kernel launch.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_random
+
+
+def build_bfs(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 32.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the BFS trace (Table II: 5 objects, 32 MB at 4 GPUs)."""
+    builder = TraceBuilder("bfs", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    edges = builder.alloc("BFS_Edges", int(total * 0.50))
+    offsets = builder.alloc("BFS_Offsets", int(total * 0.125))
+    frontier_a = builder.alloc("BFS_Frontier", int(total * 0.125))
+    frontier_b = builder.alloc("BFS_NewFrontier", int(total * 0.125))
+    cost = builder.alloc("BFS_Cost", int(total * 0.125))
+
+    rng = builder.rng
+    curr, new = frontier_a, frontier_b
+    n_levels = 10
+    for level in range(n_levels):
+        builder.begin_phase(f"level{level}", explicit=(level == 0))
+        # Expand: chase CSR arrays for the vertices in the current
+        # frontier — random read-shared pages, low reuse.
+        emit_random(builder, offsets, weight=6, fraction=0.5,
+                    write_ratio=0.0, rng=rng)
+        emit_random(builder, edges, weight=6, fraction=0.5,
+                    write_ratio=0.0, rng=rng)
+        # The current frontier is read by everyone; discovered vertices
+        # land in the new frontier (random writes) — the two swap each
+        # level, like ST's buffer swap.
+        emit_random(builder, curr, weight=10, fraction=0.6,
+                    write_ratio=0.0, rng=rng)
+        emit_random(builder, new, weight=4, fraction=0.6,
+                    write_ratio=1.0, rng=rng)
+        # Levels of newly discovered vertices: mostly writes, with the
+        # occasional read-check (rw-mix, random placement).
+        emit_random(builder, cost, weight=4, fraction=0.4,
+                    write_ratio=0.7, rng=rng)
+        builder.end_phase()
+        curr, new = new, curr
+    return builder.build()

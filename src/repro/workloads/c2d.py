@@ -1,0 +1,81 @@
+"""C2D — Convolution 2D (DNN-Mark, adjacent pattern, 10 objects).
+
+The paper's running example of *explicit* phases (Fig. 6): a convolution
+implemented as Image-to-Column → GEMM → Matrix-Transpose, repeated for
+two layers (8 kernel launches total).  The intermediate buffers
+(``Im2col_Output``, ``GEMM_Output``) are written partitioned in one phase
+and read — by a *rotated* GPU assignment — in the next, so each is
+private within a phase but shared (and rw-mix) over the whole run.
+``C2D_Weights`` is broadcast-read by every GPU during GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import (
+    emit_broadcast,
+    emit_owner_init,
+    emit_partitioned,
+)
+
+
+def build_c2d(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 92.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the C2D trace (Table II: 10 objects, 92 MB at 4 GPUs)."""
+    builder = TraceBuilder("c2d", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    inp = builder.alloc("C2D_Input", int(total * 0.13))
+    weights = builder.alloc("C2D_Weights", int(total * 0.09))
+    im2col_out = builder.alloc("Im2col_Output", int(total * 0.26))
+    gemm_out = builder.alloc("GEMM_Output", int(total * 0.22))
+    mt_out = builder.alloc("MT_Output", int(total * 0.22))
+    bias = builder.alloc("C2D_Bias", int(total * 0.02))
+    scratch_a = builder.alloc("C2D_ScratchA", int(total * 0.02))
+    scratch_b = builder.alloc("C2D_ScratchB", int(total * 0.02))
+    alpha = builder.alloc("C2D_Alpha", max(page_size, int(total * 0.01)))
+    beta = builder.alloc("C2D_Beta", max(page_size, int(total * 0.01)))
+
+    builder.begin_phase("setup", explicit=True)
+    emit_owner_init(builder, inp, weight=8)
+    emit_owner_init(builder, weights, weight=8)
+    emit_owner_init(builder, bias, weight=4)
+    emit_owner_init(builder, alpha, weight=2)
+    emit_owner_init(builder, beta, weight=2)
+    builder.end_phase()
+
+    for layer, source in enumerate((inp, mt_out)):
+        shift = layer + 1
+        builder.begin_phase(f"im2col_l{layer}", explicit=True)
+        # Each GPU expands its slice of the layer input; layer 1 consumes
+        # the previous layer's transposed output under a rotated mapping.
+        emit_partitioned(builder, source, write=False, weight=96, shift=shift)
+        emit_partitioned(builder, im2col_out, write=True, weight=48)
+        emit_partitioned(builder, scratch_a, write=True, weight=16)
+        builder.end_phase()
+
+        builder.begin_phase(f"gemm_l{layer}", explicit=True)
+        emit_broadcast(builder, weights, write=False, weight=64)
+        emit_broadcast(builder, alpha, write=False, weight=8)
+        emit_partitioned(builder, im2col_out, write=False, weight=64,
+                         shift=1)
+        emit_partitioned(builder, gemm_out, write=True, weight=64)
+        emit_broadcast(builder, bias, write=False, weight=16)
+        builder.end_phase()
+
+        builder.begin_phase(f"transpose_l{layer}", explicit=True)
+        emit_broadcast(builder, beta, write=False, weight=8)
+        emit_partitioned(builder, gemm_out, write=False, weight=32, shift=1)
+        emit_partitioned(builder, mt_out, write=True, weight=32)
+        emit_partitioned(builder, scratch_b, write=True, weight=16)
+        builder.end_phase()
+
+    builder.begin_phase("readback", explicit=True)
+    emit_partitioned(builder, mt_out, write=False, weight=16, shift=1)
+    builder.end_phase()
+    return builder.build()

@@ -1,0 +1,292 @@
+"""DNN training workloads: LeNet, VGG16, ResNet18 (DNN-Mark).
+
+Data-parallel training: the minibatch is split across GPUs, so
+
+* **weights** are broadcast-read by every GPU each forward/backward pass
+  (shared-read-only → duplication-friendly);
+* **activations** are private to the GPU holding that batch slice
+  (partitioned, rw-mix → on-touch-friendly);
+* **weight gradients** are written by every GPU during the ring
+  all-reduce (shared-write → access-counter-friendly).
+
+Every layer's forward and backward pass is its own kernel launch, so
+these applications have many *explicit* phases — LeNet's 9 minibatches
+over 7 layers plus 3 setup launches give the 129 explicit phases the
+paper reports (Section VI-A).
+
+Object counts are pinned to Table II: each layer allocates a fixed
+template of buffers (weights, bias, activations, gradients, workspaces,
+im2col buffers, statistics) exactly like DNN-Mark's per-layer setup:
+
+* LeNet: 7 layers x 16 objects + 3 globals = 115;
+* VGG16: 21 layers x 11 objects + 9 globals = 240;
+* ResNet18: 26 layers x 10 objects + 3 globals = 263.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import ObjectDef, Trace, TraceBuilder
+from repro.workloads.patterns import (
+    emit_broadcast,
+    emit_owner_init,
+    emit_partitioned,
+)
+
+#: Object-template names sized from the layer's weight footprint.
+_WEIGHT_LIKE = ("W", "dW")
+#: Small per-layer parameter vectors.
+_SMALL_LIKE = ("b", "db", "stat", "mean", "var", "scale", "dscale", "shift",
+               "dshift")
+#: Object-template names sized from the layer's activation footprint.
+_ACT_LIKE = ("top", "dtop", "ws_f", "ws_b", "col", "dcol")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Relative footprint of one layer."""
+
+    name: str
+    weight_rel: float
+    act_rel: float
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One DNN model: layers, per-layer object template, globals."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    template: tuple[str, ...]
+    n_globals: int
+    minibatches: int
+    setup_phases: int
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.layers) * len(self.template) + self.n_globals
+
+    @property
+    def n_explicit_phases(self) -> int:
+        return self.minibatches * 2 * len(self.layers) + self.setup_phases
+
+
+def _conv_stack(prefix: str, n: int, weight_rel: float, act_rel: float,
+                act_decay: float = 0.85) -> list[LayerSpec]:
+    """A stack of conv layers with geometrically shrinking activations."""
+    layers = []
+    act = act_rel
+    weight = weight_rel
+    for i in range(n):
+        layers.append(LayerSpec(f"{prefix}{i}", weight, act))
+        act *= act_decay
+        weight *= 1.3
+    return layers
+
+
+LENET = ModelSpec(
+    name="lenet",
+    layers=(
+        LayerSpec("conv1", 0.02, 1.00),
+        LayerSpec("pool1", 0.01, 0.50),
+        LayerSpec("conv2", 0.08, 0.40),
+        LayerSpec("pool2", 0.01, 0.20),
+        LayerSpec("fc1", 0.60, 0.10),
+        LayerSpec("fc2", 0.20, 0.05),
+        LayerSpec("softmax", 0.01, 0.05),
+    ),
+    template=("W", "b", "dW", "db", "top", "dtop", "ws_f", "ws_b", "col",
+              "dcol", "mean", "var", "scale", "dscale", "shift", "dshift"),
+    n_globals=3,
+    minibatches=9,
+    setup_phases=3,
+)
+
+VGG16 = ModelSpec(
+    name="vgg16",
+    layers=tuple(
+        _conv_stack("conv", 13, weight_rel=0.05, act_rel=1.0)
+        + [
+            LayerSpec("pool", 0.01, 0.10),
+            LayerSpec("fc1", 3.00, 0.05),
+            LayerSpec("fc2", 1.20, 0.04),
+            LayerSpec("fc3", 0.30, 0.03),
+            LayerSpec("softmax", 0.01, 0.03),
+            LayerSpec("loss", 0.01, 0.02),
+            LayerSpec("prep", 0.01, 0.30),
+            LayerSpec("norm", 0.01, 0.20),
+        ]
+    ),
+    template=("W", "b", "dW", "db", "top", "dtop", "ws_f", "ws_b", "col",
+              "dcol", "stat"),
+    n_globals=9,
+    minibatches=3,
+    setup_phases=2,
+)
+
+RESNET18 = ModelSpec(
+    name="resnet18",
+    layers=tuple(
+        [LayerSpec("stem", 0.05, 1.0)]
+        + _conv_stack("block", 24, weight_rel=0.10, act_rel=0.80,
+                      act_decay=0.90)
+        + [LayerSpec("fc", 0.50, 0.03)]
+    ),
+    template=("W", "b", "dW", "db", "top", "dtop", "ws_f", "ws_b", "col",
+              "stat"),
+    n_globals=3,
+    minibatches=3,
+    setup_phases=2,
+)
+
+#: How each model splits its footprint between weights / activations / rest.
+_WEIGHT_SHARE = 0.25
+_ACT_SHARE = 0.65
+_SMALL_SHARE = 0.10
+
+
+def _layer_object_sizes(
+    spec: ModelSpec, footprint_bytes: float, page_size: int
+) -> dict[tuple[int, str], int]:
+    """Absolute byte size of every per-layer object."""
+    weight_total = sum(layer.weight_rel for layer in spec.layers)
+    act_total = sum(layer.act_rel for layer in spec.layers)
+    n_small = sum(1 for t in spec.template if t in _SMALL_LIKE)
+    n_weight = sum(1 for t in spec.template if t in _WEIGHT_LIKE)
+    n_act = sum(1 for t in spec.template if t in _ACT_LIKE)
+    small_budget = footprint_bytes * _SMALL_SHARE
+    small_each = small_budget / max(1, n_small * len(spec.layers))
+    sizes: dict[tuple[int, str], int] = {}
+    for index, layer in enumerate(spec.layers):
+        weight_bytes = (
+            footprint_bytes * _WEIGHT_SHARE * layer.weight_rel / weight_total
+        )
+        act_bytes = footprint_bytes * _ACT_SHARE * layer.act_rel / act_total
+        for tname in spec.template:
+            if tname in _WEIGHT_LIKE:
+                size = weight_bytes / n_weight
+            elif tname in _ACT_LIKE:
+                size = act_bytes / n_act
+            else:
+                size = small_each
+            sizes[(index, tname)] = max(256, int(size))
+    return sizes
+
+
+def build_dnn(
+    spec: ModelSpec,
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 100.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build a data-parallel training trace for ``spec``."""
+    builder = TraceBuilder(spec.name, n_gpus, page_size, seed=seed, burst=burst)
+    # Broadcast records scale with the GPU count; at 8+ GPUs one fewer
+    # minibatch keeps trace sizes tractable without changing any object's
+    # behaviour (steady-state patterns repeat identically per minibatch).
+    minibatches = (
+        spec.minibatches if n_gpus <= 4 else max(2, spec.minibatches - 1)
+    )
+    footprint = footprint_mb * MB
+    # Globals take a fixed small slice; layers share the rest.
+    global_slice = 0.04 * footprint
+    layer_budget = footprint - global_slice
+    sizes = _layer_object_sizes(spec, layer_budget, page_size)
+
+    globals_list: list[ObjectDef] = []
+    global_names = ["input", "labels", "loss"] + [
+        f"scratch{i}" for i in range(spec.n_globals - 3)
+    ]
+    for gname in global_names:
+        share = 0.7 if gname == "input" else 0.3 / max(1, len(global_names) - 1)
+        globals_list.append(
+            builder.alloc(f"{spec.name}_{gname}", max(256, int(global_slice * share)))
+        )
+
+    objects: dict[tuple[int, str], ObjectDef] = {}
+    for index, layer in enumerate(spec.layers):
+        for tname in spec.template:
+            objects[(index, tname)] = builder.alloc(
+                f"{layer.name}_{tname}", sizes[(index, tname)]
+            )
+
+    input_obj = globals_list[0]
+
+    # -- setup phases ----------------------------------------------------
+    for setup in range(spec.setup_phases):
+        builder.begin_phase(f"setup{setup}", explicit=True)
+        if setup == 0:
+            for gobj in globals_list:
+                emit_owner_init(builder, gobj, weight=4)
+        else:
+            for index in range(len(spec.layers)):
+                emit_owner_init(builder, objects[(index, "W")], weight=4)
+                emit_owner_init(builder, objects[(index, "b")], weight=2)
+        builder.end_phase()
+
+    # -- training minibatches -----------------------------------------------
+    for batch in range(minibatches):
+        # Forward: layer by layer, one kernel each.
+        for index in range(len(spec.layers)):
+            builder.begin_phase(f"fwd_b{batch}_l{index}", explicit=True)
+            emit_broadcast(builder, objects[(index, "W")], write=False,
+                           weight=48)
+            emit_broadcast(builder, objects[(index, "b")], write=False,
+                           weight=8)
+            below = (
+                input_obj if index == 0 else objects[(index - 1, "top")]
+            )
+            emit_partitioned(builder, below, write=False, weight=32)
+            if "col" in spec.template:
+                emit_partitioned(builder, objects[(index, "col")],
+                                 write=True, weight=24)
+            emit_partitioned(builder, objects[(index, "top")], write=True,
+                             weight=32)
+            if "ws_f" in spec.template:
+                emit_partitioned(builder, objects[(index, "ws_f")],
+                                 write=True, weight=8)
+            builder.end_phase()
+        # Backward: layer by layer in reverse.
+        for index in reversed(range(len(spec.layers))):
+            builder.begin_phase(f"bwd_b{batch}_l{index}", explicit=True)
+            emit_broadcast(builder, objects[(index, "W")], write=False,
+                           weight=24)
+            emit_partitioned(builder, objects[(index, "top")], write=False,
+                             weight=24)
+            emit_partitioned(builder, objects[(index, "dtop")], write=True,
+                             weight=24)
+            # Gradient all-reduce: every GPU contributes to every chunk.
+            emit_broadcast(builder, objects[(index, "dW")], write=True,
+                           weight=6)
+            emit_broadcast(builder, objects[(index, "db")], write=True,
+                           weight=2)
+            if "ws_b" in spec.template:
+                emit_partitioned(builder, objects[(index, "ws_b")],
+                                 write=True, weight=8)
+            builder.end_phase()
+    return builder.build()
+
+
+def build_lenet(n_gpus: int = 4, page_size: int = PAGE_SIZE_4K,
+                footprint_mb: float = 24.0, seed: int = 0,
+                burst: int = 32) -> Trace:
+    """LeNet on MNIST (Table II: 115 objects, 24 MB, 129 explicit phases)."""
+    return build_dnn(LENET, n_gpus, page_size, footprint_mb, seed, burst)
+
+
+def build_vgg16(n_gpus: int = 4, page_size: int = PAGE_SIZE_4K,
+                footprint_mb: float = 220.0, seed: int = 0,
+                burst: int = 32) -> Trace:
+    """VGG16 on Tiny-ImageNet (Table II: 240 objects, 220 MB)."""
+    return build_dnn(VGG16, n_gpus, page_size, footprint_mb, seed, burst)
+
+
+def build_resnet18(n_gpus: int = 4, page_size: int = PAGE_SIZE_4K,
+                   footprint_mb: float = 297.0, seed: int = 0,
+                   burst: int = 32) -> Trace:
+    """ResNet18 on Tiny-ImageNet (Table II: 263 objects, 297 MB)."""
+    return build_dnn(RESNET18, n_gpus, page_size, footprint_mb, seed, burst)

@@ -1,0 +1,48 @@
+"""FFT — Fast Fourier Transform (SHOC, scatter-gather, 2 objects).
+
+A multi-stage butterfly over ``FFT_Data``: each stage updates the data in
+place within each GPU's band, and between stages GPUs gather stride-
+partner pages from the other bands (the scatter-gather exchange).  The
+exchange makes ``FFT_Data`` shared-rw-mix, while ``FFT_Twiddle`` is a
+read-only table every GPU consults each stage.  Stages are *implicit*
+phases inside one kernel launch.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import (
+    emit_broadcast,
+    emit_gather,
+    emit_partitioned,
+)
+
+
+def build_fft(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 48.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the FFT trace (Table II: 2 objects, 48 MB at 4 GPUs)."""
+    builder = TraceBuilder("fft", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    data = builder.alloc("FFT_Data", int(total * 0.83))
+    twiddle = builder.alloc("FFT_Twiddle", int(total * 0.17))
+
+    n_stages = 6
+    for stage in range(n_stages):
+        builder.begin_phase(f"stage{stage}", explicit=(stage == 0))
+        emit_broadcast(builder, twiddle, write=False, weight=24)
+        # Butterflies update the local band in place, then the next
+        # stage's exchange gathers stride-partner pages remotely.
+        emit_partitioned(builder, data, write=False, weight=24)
+        emit_partitioned(builder, data, write=True, weight=24)
+        emit_gather(
+            builder, data, write=False, weight=32, fraction=0.2,
+            rng=builder.rng,
+        )
+        builder.end_phase()
+    return builder.build()

@@ -1,0 +1,44 @@
+"""I2C — Image to Column (DNN-Mark, scatter-gather, 3 objects).
+
+Per Fig. 5: ``I2C_Output`` is a private rw-mix object taking ~75% of all
+accesses (each GPU writes, then re-reads, its own band of the expanded
+column buffer); ``I2C_Input`` is read with neighbour overlap (convolution
+windows straddle batch-slice boundaries).  The private, heavily-reused
+output is why on-touch migration is the best uniform policy for I2C
+(Fig. 2): counter-based migration leaves it remote behind the threshold,
+and duplication taxes its writes with protection faults.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_gather, emit_partitioned
+
+
+def build_i2c(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 80.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the I2C trace (Table II: 3 objects, 80 MB at 4 GPUs)."""
+    builder = TraceBuilder("i2c", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    inp = builder.alloc("I2C_Input", int(total * 0.25))
+    out = builder.alloc("I2C_Output", int(total * 0.70))
+    params = builder.alloc("I2C_Params", max(page_size, int(total * 0.05)))
+
+    builder.begin_phase("im2col", explicit=True)
+    for _sweep in range(2):
+        emit_partitioned(builder, params, write=False, weight=8)
+        # Scatter-gather (Table II): each GPU's expansion windows pull
+        # pixels from across the whole input, so input pages are
+        # read-shared; each pixel is re-read ~9x by overlapping windows.
+        emit_gather(builder, inp, write=False, weight=24, fraction=0.6,
+                    rng=builder.rng)
+        emit_partitioned(builder, out, write=True, weight=32)
+        emit_partitioned(builder, out, write=False, weight=24)
+    builder.end_phase()
+    return builder.build()

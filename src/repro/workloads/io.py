@@ -1,0 +1,102 @@
+"""Trace serialization: save/load traces as ``.npz`` archives.
+
+Large traces (the 16-GPU DNN configurations reach millions of records)
+take noticeable time to generate; saving them lets experiment campaigns
+and external tools reuse them.  The format is a single compressed NumPy
+archive holding the per-phase access arrays plus a JSON metadata blob
+(objects, phase names, geometry).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.memory.address_space import Allocation
+from repro.workloads.base import ObjectDef, PhaseTrace, Trace
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (a ``.npz`` archive); returns the path."""
+    path = Path(path)
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "n_gpus": trace.n_gpus,
+        "page_size": trace.page_size,
+        "first_page": trace.first_page,
+        "n_pages": trace.n_pages,
+        "objects": [
+            {
+                "name": o.name,
+                "size_bytes": o.size_bytes,
+                "obj_id": o.obj_id,
+                "base": o.allocation.base,
+                "alloc_size": o.allocation.size,
+                "alloc_phase": o.alloc_phase,
+                "free_phase": o.free_phase,
+            }
+            for o in trace.objects
+        ],
+        "phases": [
+            {"name": p.name, "explicit": p.explicit} for p in trace.phases
+        ],
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    for index, phase in enumerate(trace.phases):
+        arrays[f"gpu_{index}"] = phase.gpu
+        arrays[f"page_{index}"] = phase.page
+        arrays[f"write_{index}"] = phase.write
+        arrays[f"weight_{index}"] = phase.weight
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta.get('version')!r}"
+            )
+        objects = [
+            ObjectDef(
+                name=o["name"],
+                size_bytes=o["size_bytes"],
+                obj_id=o["obj_id"],
+                allocation=Allocation(
+                    base=o["base"], size=o["alloc_size"],
+                    page_size=meta["page_size"],
+                ),
+                alloc_phase=o["alloc_phase"],
+                free_phase=o["free_phase"],
+            )
+            for o in meta["objects"]
+        ]
+        phases = [
+            PhaseTrace(
+                name=p["name"],
+                explicit=p["explicit"],
+                gpu=archive[f"gpu_{index}"],
+                page=archive[f"page_{index}"],
+                write=archive[f"write_{index}"],
+                weight=archive[f"weight_{index}"],
+            )
+            for index, p in enumerate(meta["phases"])
+        ]
+    return Trace(
+        name=meta["name"],
+        n_gpus=meta["n_gpus"],
+        page_size=meta["page_size"],
+        objects=objects,
+        phases=phases,
+        first_page=meta["first_page"],
+        n_pages=meta["n_pages"],
+    )

@@ -1,0 +1,41 @@
+"""MM — Matrix Multiplication (AMDAPPSDK, scatter-gather, 4 objects).
+
+Object behaviour per the paper's Fig. 5: ``MM_A`` and ``MM_B`` are
+shared-read-only and dominate the accesses (~80%+); ``MM_C`` is a
+private (partitioned) write-heavy output.  Every GPU computes a band of C
+and therefore reads *all* of A and B repeatedly (tile reuse), which is why
+duplication is the best uniform policy for MM (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_broadcast, emit_partitioned
+
+
+def build_mm(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 32.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the MM trace (Table II: 4 objects, 32 MB at 4 GPUs)."""
+    builder = TraceBuilder("mm", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    a = builder.alloc("MM_A", int(total * 0.375))
+    mat_b = builder.alloc("MM_B", int(total * 0.375))
+    c = builder.alloc("MM_C", int(total * 0.235))
+    params = builder.alloc("MM_Params", max(page_size, int(total * 0.015)))
+
+    builder.begin_phase("gemm", explicit=True)
+    for _sweep in range(4):
+        emit_broadcast(builder, params, write=False, weight=16)
+        emit_broadcast(builder, a, write=False, weight=64)
+        emit_broadcast(builder, mat_b, write=False, weight=64)
+        # C is an accumulator: each tile is read-modified-written.
+        emit_partitioned(builder, c, write=False, weight=32)
+        emit_partitioned(builder, c, write=True, weight=96)
+    builder.end_phase()
+    return builder.build()

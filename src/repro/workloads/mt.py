@@ -1,0 +1,37 @@
+"""MT — Matrix Transpose (AMDAPPSDK, scatter-gather, 3 objects).
+
+Per Fig. 4: ``MT_Input`` is entirely read-only (every GPU gathers column
+tiles from all over the input, so input pages are shared-read) and
+``MT_Output`` is write-only and partitioned (each GPU writes its own
+band).  The kernel is invoked several times (benchmark timing loops), so
+the read-shared input strongly rewards duplication.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_broadcast, emit_partitioned
+
+
+def build_mt(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 64.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the MT trace (Table II: 3 objects, 64 MB at 4 GPUs)."""
+    builder = TraceBuilder("mt", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    inp = builder.alloc("MT_Input", int(total * 0.492))
+    out = builder.alloc("MT_Output", int(total * 0.492))
+    params = builder.alloc("MT_Params", max(page_size, int(total * 0.016)))
+
+    builder.begin_phase("transpose", explicit=True)
+    for _iteration in range(4):
+        emit_broadcast(builder, params, write=False, weight=8)
+        emit_broadcast(builder, inp, write=False, weight=16)
+        emit_partitioned(builder, out, write=True, weight=32)
+    builder.end_phase()
+    return builder.build()

@@ -1,0 +1,173 @@
+"""Access-pattern primitives shared by the application models.
+
+Each helper emits records into an open :class:`~repro.workloads.base.
+TraceBuilder` phase.  The primitives correspond to the multi-GPU access
+patterns of Table II:
+
+* *partitioned* — each GPU works on its own contiguous band (private);
+* *broadcast* — every GPU touches every page (shared);
+* *halo* — partitioned plus boundary pages shared with neighbouring GPUs
+  (the "adjacent" pattern);
+* *gather* — each GPU samples pages from every band (the "scatter-gather"
+  pattern);
+* *random* — unpredictable page sets per GPU (the "random" pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import ObjectDef, TraceBuilder
+
+
+def band_offsets(obj: ObjectDef, n_bands: int, band: int) -> np.ndarray:
+    """Page offsets of one contiguous band of an object.
+
+    Bands split the object's *bytes* nearly equally; the band's page set
+    is every page its byte range touches.  With 4 KB pages bands are
+    almost disjoint, but with 2 MB pages the boundary page is shared by
+    adjacent bands — and a small object collapses onto a single page every
+    band touches.  That is precisely the private-to-shared conversion the
+    paper's large-page study observes (Section VI-B4).
+    """
+    if not 0 <= band < n_bands:
+        raise ValueError(f"band {band} outside 0..{n_bands - 1}")
+    page_size = obj.allocation.page_size
+    start_byte = band * obj.size_bytes // n_bands
+    end_byte = (band + 1) * obj.size_bytes // n_bands
+    if end_byte <= start_byte:
+        return np.empty(0, dtype=np.int64)
+    first = start_byte // page_size
+    last = (end_byte - 1) // page_size
+    return np.arange(first, min(last, obj.n_pages - 1) + 1, dtype=np.int64)
+
+
+def emit_partitioned(
+    builder: TraceBuilder,
+    obj: ObjectDef,
+    write: bool,
+    weight: int,
+    shift: int = 0,
+) -> None:
+    """Every GPU accesses its own band; ``shift`` rotates the assignment.
+
+    A non-zero shift models producer/consumer handoff between phases: the
+    band GPU ``g`` wrote in the previous phase is read by GPU
+    ``(g + shift) % n`` in this one (the C2D behaviour of Fig. 6).
+    """
+    n = builder.n_gpus
+    for gpu in range(n):
+        offsets = band_offsets(obj, n, (gpu + shift) % n)
+        builder.emit_block(gpu, obj, offsets, write=write, weight=weight)
+
+
+def emit_broadcast(
+    builder: TraceBuilder,
+    obj: ObjectDef,
+    write: bool,
+    weight: int,
+) -> None:
+    """Every GPU accesses every page of the object."""
+    offsets = np.arange(obj.n_pages, dtype=np.int64)
+    for gpu in range(builder.n_gpus):
+        builder.emit_block(gpu, obj, offsets, write=write, weight=weight)
+
+
+def emit_halo(
+    builder: TraceBuilder,
+    obj: ObjectDef,
+    write: bool,
+    weight: int,
+    halo_pages: int,
+    periodic: bool = False,
+) -> None:
+    """Partitioned access plus boundary pages of the neighbouring bands.
+
+    Each GPU touches its own band and the ``halo_pages`` pages of each
+    neighbour's band adjacent to its own (the stencil exchange pattern).
+    With ``periodic=True`` the first and last GPUs are neighbours too
+    (periodic boundary, as in a torus decomposition or a large grid where
+    edge effects are negligible).
+    """
+    if halo_pages < 0:
+        raise ValueError("halo_pages must be non-negative")
+    n = builder.n_gpus
+    for gpu in range(n):
+        own = band_offsets(obj, n, gpu)
+        pieces = [own]
+        if gpu > 0 or periodic:
+            left = band_offsets(obj, n, (gpu - 1) % n)
+            if len(left):
+                pieces.append(left[-min(halo_pages, len(left)):])
+        if gpu < n - 1 or periodic:
+            right = band_offsets(obj, n, (gpu + 1) % n)
+            if len(right):
+                pieces.append(right[: min(halo_pages, len(right))])
+        builder.emit_block(
+            gpu, obj, np.concatenate(pieces), write=write, weight=weight
+        )
+
+
+def emit_gather(
+    builder: TraceBuilder,
+    obj: ObjectDef,
+    write: bool,
+    weight: int,
+    fraction: float,
+    rng: np.random.Generator,
+) -> None:
+    """Scatter-gather: each GPU samples ``fraction`` of every band's pages."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    n = builder.n_gpus
+    for gpu in range(n):
+        pieces = []
+        for band in range(n):
+            pages = band_offsets(obj, n, band)
+            if len(pages) == 0:
+                continue
+            take = max(1, int(len(pages) * fraction))
+            pieces.append(rng.choice(pages, size=take, replace=False))
+        if not pieces:
+            continue
+        offsets = np.sort(np.concatenate(pieces))
+        builder.emit_block(gpu, obj, offsets, write=write, weight=weight)
+
+
+def emit_random(
+    builder: TraceBuilder,
+    obj: ObjectDef,
+    weight: int,
+    fraction: float,
+    write_ratio: float,
+    rng: np.random.Generator,
+) -> None:
+    """Random pattern: each GPU touches a random page subset, mixed R/W.
+
+    ``write_ratio`` of each GPU's sampled pages are written, the rest
+    read — pages land on GPUs unpredictably (BFS/PR behaviour).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if not 0 <= write_ratio <= 1:
+        raise ValueError("write_ratio must be in [0, 1]")
+    for gpu in range(builder.n_gpus):
+        take = max(1, int(obj.n_pages * fraction))
+        offsets = rng.choice(obj.n_pages, size=take, replace=False)
+        n_writes = int(take * write_ratio)
+        if n_writes:
+            builder.emit_block(
+                gpu, obj, offsets[:n_writes], write=True, weight=weight
+            )
+        if take - n_writes:
+            builder.emit_block(
+                gpu, obj, offsets[n_writes:], write=False, weight=weight
+            )
+
+
+def emit_owner_init(
+    builder: TraceBuilder, obj: ObjectDef, weight: int = 4, gpu: int = 0
+) -> None:
+    """One GPU initializes the whole object (setup-phase writes)."""
+    offsets = np.arange(obj.n_pages, dtype=np.int64)
+    builder.emit_block(gpu, obj, offsets, write=True, weight=weight)

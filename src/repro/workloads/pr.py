@@ -1,0 +1,57 @@
+"""PR — PageRank (Hetero-Mark, random pattern, 6 objects).
+
+Iterative rank propagation over a CSR graph.  Each iteration reads the
+*source* rank vector from all over the graph (random shared reads),
+writes the *destination* rank vector partitioned by vertex ownership, and
+then the two vectors **swap** — the same buffer-swap structure as ST
+(Fig. 7), so each iteration is an implicit phase in which the two rank
+objects trade read-only and write-only roles.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_gather, emit_partitioned, emit_random
+
+
+def build_pr(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 32.0,
+    seed: int = 0,
+    burst: int = 32,
+) -> Trace:
+    """Build the PR trace (Table II: 6 objects, 32 MB at 4 GPUs)."""
+    builder = TraceBuilder("pr", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    edges = builder.alloc("PR_Edges", int(total * 0.40))
+    offsets = builder.alloc("PR_Offsets", int(total * 0.10))
+    rank_a = builder.alloc("PR_RankA", int(total * 0.175))
+    rank_b = builder.alloc("PR_RankB", int(total * 0.175))
+    degrees = builder.alloc("PR_OutDegrees", int(total * 0.10))
+    diff = builder.alloc("PR_Diff", int(total * 0.05))
+
+    rng = builder.rng
+    src, dst = rank_a, rank_b
+    n_iterations = 12
+    for iteration in range(n_iterations):
+        builder.begin_phase(f"iter{iteration}", explicit=(iteration == 0))
+        emit_random(builder, offsets, weight=8, fraction=0.6,
+                    write_ratio=0.0, rng=rng)
+        emit_random(builder, edges, weight=8, fraction=0.6,
+                    write_ratio=0.0, rng=rng)
+        emit_random(builder, degrees, weight=8, fraction=0.6,
+                    write_ratio=0.0, rng=rng)
+        # Pull ranks of random in-neighbours: shared reads of src.  Hot
+        # (high in-degree) vertex pages are read many times per iteration.
+        emit_gather(builder, src, write=False, weight=48, fraction=0.35,
+                    rng=rng)
+        # Each GPU accumulates into the ranks of its own vertices
+        # (read-modify-write).
+        emit_partitioned(builder, dst, write=False, weight=4)
+        emit_partitioned(builder, dst, write=True, weight=12)
+        emit_partitioned(builder, diff, write=True, weight=6)
+        builder.end_phase()
+        src, dst = dst, src
+    return builder.build()

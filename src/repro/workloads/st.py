@@ -1,0 +1,52 @@
+"""ST — Stencil 2D (SHOC, adjacent pattern, 3 objects).
+
+The paper's running example of *implicit* phases (Fig. 7): a single
+kernel launch loops over iterations; every iteration reads
+``ST_currData`` (own band plus neighbour halo rows) and writes
+``ST_newData`` (own band), then swaps the two buffers.  Both objects are
+shared-rw-mix over the whole run but read-only / write-only within one
+iteration — exactly what OASIS's PF-count self-correction detects.
+"""
+
+from __future__ import annotations
+
+from repro.config import MB, PAGE_SIZE_4K
+from repro.workloads.base import Trace, TraceBuilder
+from repro.workloads.patterns import emit_broadcast, emit_halo
+
+
+def build_st(
+    n_gpus: int = 4,
+    page_size: int = PAGE_SIZE_4K,
+    footprint_mb: float = 32.0,
+    seed: int = 0,
+    burst: int = 32,
+    n_iterations: int = 20,
+) -> Trace:
+    """Build the ST trace (Table II: 3 objects, 32 MB at 4 GPUs)."""
+    builder = TraceBuilder("st", n_gpus, page_size, seed=seed, burst=burst)
+    total = footprint_mb * MB
+    curr = builder.alloc("ST_currData", int(total * 0.46))
+    new = builder.alloc("ST_newData", int(total * 0.46))
+    params = builder.alloc("ST_Params", max(page_size, int(total * 0.08)))
+
+    # The grid is 2D-tiled: row-major 4 KB pages hold only a few rows of
+    # one tile, so pages straddling a tile's column boundary are *read
+    # and written by both adjacent GPUs* — most grid pages end up
+    # rw-shared, which is why the paper classifies ST's data objects as
+    # shared-rw-mix and why the counter policy suits them.
+    halo = max(1, curr.n_pages // (2 * n_gpus))
+    for iteration in range(n_iterations):
+        builder.begin_phase(f"iter{iteration}", explicit=(iteration == 0))
+        emit_broadcast(builder, params, write=False, weight=4)
+        # 5-point stencil: each cell of the current grid read ~5 times,
+        # with boundary pages pulled from the neighbouring GPUs' tiles.
+        emit_halo(builder, curr, write=False, weight=40, halo_pages=halo,
+                  periodic=True)
+        # Results land in the new grid; column-boundary pages receive
+        # writes from both tiles sharing them.
+        emit_halo(builder, new, write=True, weight=16, halo_pages=halo,
+                  periodic=True)
+        builder.end_phase()
+        curr, new = new, curr
+    return builder.build()

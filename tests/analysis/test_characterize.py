@@ -1,0 +1,99 @@
+"""Characterization helper tests."""
+
+import pytest
+
+from repro.analysis import (
+    access_share_by_object,
+    object_size_distribution,
+    page_pattern_timeline,
+    pages_by_object,
+    phase_page_patterns,
+    size_histogram,
+)
+from tests.conftest import make_trace
+
+
+class TestSizes:
+    def test_object_size_distribution(self):
+        trace = make_trace({"a": 2, "b": 5}, [[(0, "a", 0, False)]])
+        assert object_size_distribution(trace) == {"a": 2, "b": 5}
+
+    def test_pages_by_object_fractions(self):
+        trace = make_trace({"a": 2, "b": 6}, [[(0, "a", 0, False)]])
+        frac = pages_by_object(trace)
+        assert frac["a"] == pytest.approx(0.25)
+        assert frac["b"] == pytest.approx(0.75)
+
+    def test_size_histogram_buckets(self):
+        t1 = make_trace({"one": 1, "five": 5}, [[(0, "one", 0, False)]])
+        t2 = make_trace({"big": 2000}, [[(0, "big", 0, False)]])
+        hist = size_histogram([t1, t2])
+        assert hist["<=1"] == 1
+        assert hist["<=16"] == 1
+        assert hist[">1024"] == 1
+
+
+class TestAccessShares:
+    def test_shares_weighted_by_weight(self):
+        trace = make_trace(
+            {"a": 1, "b": 1},
+            [[(0, "a", 0, False, 30), (0, "b", 0, False, 10)]],
+        )
+        shares = access_share_by_object(trace)
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_untouched_object_zero_share(self):
+        trace = make_trace({"a": 1, "b": 1}, [[(0, "a", 0, False)]])
+        assert access_share_by_object(trace)["b"] == 0.0
+
+
+class TestTimeline:
+    def test_single_phase_read_only_page(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)] * 8])
+        grid = page_pattern_timeline(trace, n_intervals=4)
+        assert grid.shape == (1, 4)
+        assert all(grid[0, t] == "read-only" for t in range(4))
+
+    def test_rw_in_same_interval(self):
+        trace = make_trace({"o": 1},
+                           [[(0, "o", 0, False), (0, "o", 0, True)]])
+        grid = page_pattern_timeline(trace, n_intervals=1)
+        assert grid[0, 0] == "rw-mix"
+
+    def test_interval_splits_record_stream(self):
+        reads = [(0, "o", 0, False)] * 4
+        writes = [(0, "o", 0, True)] * 4
+        trace = make_trace({"o": 1}, [reads + writes], burst=8)
+        grid = page_pattern_timeline(trace, n_intervals=2)
+        assert grid[0, 0] == "read-only"
+        assert grid[0, 1] == "write-only"
+
+    def test_object_restriction_and_step(self):
+        trace = make_trace(
+            {"a": 4, "b": 4},
+            [[(0, "a", p, False) for p in range(4)]],
+        )
+        grid = page_pattern_timeline(trace, n_intervals=1,
+                                     obj=trace.objects[0], page_step=2)
+        assert grid.shape == (2, 1)
+
+    def test_invalid_interval_count(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)]])
+        with pytest.raises(ValueError):
+            page_pattern_timeline(trace, n_intervals=0)
+
+
+class TestPhasePagePatterns:
+    def test_per_phase_grid(self):
+        trace = make_trace(
+            {"o": 2},
+            [[(0, "o", 0, False)], [(0, "o", 0, True)],
+             [(0, "o", 1, False)]],
+        )
+        grid = phase_page_patterns(trace, trace.objects[0])
+        assert grid.shape == (2, 3)
+        assert grid[0, 0] == "read-only"
+        assert grid[0, 1] == "write-only"
+        assert grid[0, 2] == "untouched"
+        assert grid[1, 2] == "read-only"

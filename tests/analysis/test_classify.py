@@ -1,0 +1,177 @@
+"""Pattern classification tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    classify_object,
+    classify_pages,
+    is_non_uniform_app,
+    non_uniform_objects,
+    page_type_percentages,
+)
+from tests.conftest import make_trace
+
+
+class TestPageClassification:
+    def test_private_read_only(self):
+        trace = make_trace({"o": 2}, [[(0, "o", 0, False)]])
+        cls = classify_pages(trace)
+        page = trace.first_page
+        assert cls.pattern_of(page) == ("private", "read-only")
+
+    def test_shared_when_two_gpus(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False),
+                                       (1, "o", 0, False)]])
+        cls = classify_pages(trace)
+        assert cls.sharing_of(trace.first_page) == "shared"
+
+    def test_read_plus_write_is_rw_mix(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False),
+                                       (0, "o", 0, True)]])
+        cls = classify_pages(trace)
+        assert cls.rw_of(trace.first_page) == "rw-mix"
+
+    def test_untouched(self):
+        trace = make_trace({"o": 2}, [[(0, "o", 0, False)]])
+        cls = classify_pages(trace)
+        assert cls.pattern_of(trace.first_page + 1) == ("untouched",
+                                                        "untouched")
+
+    def test_reader_and_writer_different_gpus_is_shared(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False),
+                                       (1, "o", 0, True)]])
+        cls = classify_pages(trace)
+        assert cls.sharing_of(trace.first_page) == "shared"
+        assert cls.rw_of(trace.first_page) == "rw-mix"
+
+    def test_phase_window_selection(self):
+        trace = make_trace(
+            {"o": 1},
+            [[(0, "o", 0, False)], [(1, "o", 0, True)]],
+        )
+        cls0 = classify_pages(trace, phases=[0])
+        cls1 = classify_pages(trace, phases=[1])
+        page = trace.first_page
+        assert cls0.pattern_of(page) == ("private", "read-only")
+        assert cls1.pattern_of(page) == ("private", "write-only")
+
+    def test_slice_window(self):
+        trace = make_trace(
+            {"o": 1},
+            [[(0, "o", 0, False)], [(1, "o", 0, True)]],
+        )
+        cls = classify_pages(trace, phases=slice(0, 2))
+        assert cls.sharing_of(trace.first_page) == "shared"
+
+    def test_bulk_labels_agree_with_scalar(self):
+        trace = make_trace(
+            {"o": 3},
+            [[(0, "o", 0, False), (1, "o", 0, False), (2, "o", 1, True)]],
+        )
+        cls = classify_pages(trace)
+        sharing = cls.sharing_labels()
+        rw = cls.rw_labels()
+        for i in range(3):
+            page = trace.first_page + i
+            assert sharing[i] == cls.sharing_of(page)
+            assert rw[i] == cls.rw_of(page)
+
+
+class TestObjectClassification:
+    def test_uniform_object(self):
+        records = [(g, "o", p, False) for g in range(2) for p in range(4)]
+        trace = make_trace({"o": 4}, [records])
+        obj = trace.objects[0]
+        pattern = classify_object(trace, obj)
+        assert pattern.label == "shared-read-only"
+        assert not pattern.is_non_uniform
+
+    def test_90_percent_rule(self):
+        # 19 of 20 pages read-only, 1 written: still read-only (95%).
+        records = [(0, "o", p, False) for p in range(20)]
+        records.append((0, "o", 19, True))
+        trace = make_trace({"o": 20}, [records])
+        pattern = classify_object(trace, trace.objects[0])
+        assert pattern.rw == "read-only"
+
+    def test_below_90_percent_is_mix(self):
+        # 3 of 10 pages written (70% read-only): rw-mix fallback.
+        records = [(0, "o", p, False) for p in range(10)]
+        records += [(0, "o", p, True) for p in range(3)]
+        trace = make_trace({"o": 10}, [records])
+        pattern = classify_object(trace, trace.objects[0])
+        assert pattern.rw == "rw-mix"
+
+    def test_untouched_object(self):
+        trace = make_trace({"a": 1, "b": 1}, [[(0, "a", 0, False)]])
+        pattern = classify_object(trace, trace.objects[1])
+        assert pattern.sharing == "untouched"
+        assert pattern.touched_pages == 0
+
+    def test_non_uniform_requires_both_dimensions(self):
+        # One page deviates in rw only: NOT non-uniform per the paper.
+        records = [(0, "o", p, False) for p in range(20)]
+        records.append((0, "o", 19, True))
+        trace = make_trace({"o": 20}, [records])
+        assert not classify_object(trace, trace.objects[0]).is_non_uniform
+
+    def test_non_uniform_object_detected(self):
+        # Pages 0-18: private read-only; page 19: shared rw-mix — deviates
+        # in both dimensions.
+        records = [(0, "o", p, False) for p in range(19)]
+        records += [(0, "o", 19, True), (1, "o", 19, False)]
+        trace = make_trace({"o": 20}, [records])
+        assert classify_object(trace, trace.objects[0]).is_non_uniform
+        assert non_uniform_objects(trace) == ["o"]
+        assert is_non_uniform_app(trace)
+
+
+class TestPageTypePercentages:
+    def test_fractions_sum_per_family(self):
+        records = [
+            (0, "o", 0, False), (0, "o", 1, True),
+            (1, "o", 1, True), (0, "o", 2, False), (0, "o", 2, True),
+        ]
+        trace = make_trace({"o": 3}, [records])
+        pct = page_type_percentages(trace)
+        assert pct["read-only"] + pct["write-only"] + pct["rw-mix"] == pytest.approx(1.0)
+        assert pct["private"] + pct["shared"] == pytest.approx(1.0)
+        assert pct["shared"] == pytest.approx(1 / 3)
+
+    def test_empty_trace_window(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)], []])
+        assert page_type_percentages(trace, phases=[1]) == {}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 5), st.booleans()),
+        min_size=1, max_size=40,
+    )
+)
+def test_classification_matches_bruteforce(records):
+    trace = make_trace(
+        {"o": 6}, [[(g, "o", p, w) for g, p, w in records]]
+    )
+    cls = classify_pages(trace)
+    readers, writers = {}, {}
+    for g, p, w in records:
+        (writers if w else readers).setdefault(p, set()).add(g)
+    for offset in range(6):
+        gpus = readers.get(offset, set()) | writers.get(offset, set())
+        page = trace.first_page + offset
+        if not gpus:
+            assert cls.sharing_of(page) == "untouched"
+            continue
+        assert cls.sharing_of(page) == (
+            "shared" if len(gpus) > 1 else "private"
+        )
+        has_r = offset in readers
+        has_w = offset in writers
+        expected = "rw-mix" if has_r and has_w else (
+            "read-only" if has_r else "write-only"
+        )
+        assert cls.rw_of(page) == expected

@@ -1,0 +1,113 @@
+"""Sharing-degree analysis tests."""
+
+import pytest
+
+from repro.analysis.sharing import (
+    access_concentration,
+    mean_sharing_degree,
+    object_sharing_degree,
+    phase_access_summary,
+    sharing_degree_histogram,
+)
+from tests.conftest import make_trace, sweep_records
+
+
+class TestSharingDegree:
+    def test_private_pages_degree_one(self):
+        trace = make_trace({"o": 4}, [[(g, "o", g, False) for g in range(4)]])
+        assert sharing_degree_histogram(trace) == {1: 4}
+        assert mean_sharing_degree(trace) == 1.0
+
+    def test_broadcast_pages_degree_four(self):
+        trace = make_trace({"o": 2},
+                           [sweep_records(range(4), "o", 2, False)])
+        assert sharing_degree_histogram(trace) == {4: 2}
+        assert mean_sharing_degree(trace) == 4.0
+
+    def test_mixed_degrees(self):
+        records = [(0, "o", 0, False), (1, "o", 0, False),
+                   (2, "o", 1, True)]
+        trace = make_trace({"o": 3}, [records])
+        assert sharing_degree_histogram(trace) == {1: 1, 2: 1}
+        assert mean_sharing_degree(trace) == pytest.approx(1.5)
+
+    def test_untouched_trace(self):
+        trace = make_trace({"o": 2}, [[]])
+        assert sharing_degree_histogram(trace) == {}
+        assert mean_sharing_degree(trace) == 0.0
+
+    def test_per_object_degree(self):
+        records = sweep_records(range(4), "shared", 2, False)
+        records += [(0, "priv", 0, True)]
+        trace = make_trace({"shared": 2, "priv": 1}, [records])
+        shared = next(o for o in trace.objects if o.name == "shared")
+        priv = next(o for o in trace.objects if o.name == "priv")
+        assert object_sharing_degree(trace, shared) == 4.0
+        assert object_sharing_degree(trace, priv) == 1.0
+
+    def test_phase_window(self):
+        trace = make_trace(
+            {"o": 1},
+            [[(0, "o", 0, False)], [(1, "o", 0, False)]],
+        )
+        assert mean_sharing_degree(trace, phases=[0]) == 1.0
+        assert mean_sharing_degree(trace) == 2.0
+
+
+class TestConcentration:
+    def test_uniform_weights_match_fraction(self):
+        records = [(0, "o", p, False, 10) for p in range(10)]
+        trace = make_trace({"o": 10}, [records])
+        assert access_concentration(trace, 0.5) == pytest.approx(0.5)
+
+    def test_skewed_weights_concentrate(self):
+        records = [(0, "o", 0, False, 1000)]
+        records += [(0, "o", p, False, 1) for p in range(1, 10)]
+        trace = make_trace({"o": 10}, [records])
+        assert access_concentration(trace, 0.1) > 0.9
+
+    def test_fraction_bounds(self):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)]])
+        with pytest.raises(ValueError):
+            access_concentration(trace, 0.0)
+
+
+class TestPhaseSummary:
+    def test_summary_fields(self):
+        trace = make_trace(
+            {"o": 4},
+            [[(0, "o", 0, False, 3), (1, "o", 1, True, 7)], []],
+            explicit=[True, False],
+        )
+        summary = phase_access_summary(trace)
+        assert len(summary) == 2
+        first = summary[0]
+        assert first["records"] == 2
+        assert first["accesses"] == 10
+        assert first["write_fraction"] == pytest.approx(0.7)
+        assert first["unique_pages"] == 2
+        assert first["gpus"] == 2
+        assert summary[1]["accesses"] == 0
+
+
+class TestOnRealWorkloads:
+    def test_mm_inputs_fully_shared(self):
+        from repro import baseline_config
+        from repro.workloads import get_workload
+
+        trace = get_workload("mm", baseline_config(), footprint_mb=8)
+        a = next(o for o in trace.objects if o.name == "MM_A")
+        c = next(o for o in trace.objects if o.name == "MM_C")
+        assert object_sharing_degree(trace, a) == pytest.approx(4.0)
+        # C is partitioned; only band-boundary pages touch two GPUs.
+        assert object_sharing_degree(trace, c) < 1.1
+
+    def test_st_halo_pairwise_sharing(self):
+        from repro import baseline_config
+        from repro.workloads import get_workload
+
+        trace = get_workload("st", baseline_config(), footprint_mb=8)
+        curr = next(o for o in trace.objects if o.name == "ST_currData")
+        # Tile-boundary sharing is pairwise: degree ~2, not broadcast.
+        degree = object_sharing_degree(trace, curr)
+        assert 1.5 < degree < 3.0

@@ -1,0 +1,76 @@
+"""Shared fixtures and trace-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import baseline_config
+from repro.workloads.base import Trace, TraceBuilder
+
+PAGE = 4096
+
+
+@pytest.fixture
+def config():
+    """The Table I baseline configuration."""
+    return baseline_config()
+
+
+def make_trace(
+    objects: dict[str, int],
+    phases: list[list[tuple]],
+    n_gpus: int = 4,
+    page_size: int = PAGE,
+    explicit: list[bool] | None = None,
+    seed: int = 0,
+    burst: int = 4,
+) -> Trace:
+    """Build a small trace from a compact description.
+
+    Args:
+        objects: name -> size in pages.
+        phases: one list of records per phase; each record is
+            ``(gpu, object_name, page_offset, is_write)`` or
+            ``(gpu, object_name, page_offset, is_write, weight)``.
+        n_gpus: GPU count.
+        page_size: page size in bytes.
+        explicit: per-phase explicit flags (default: first True, rest
+            False).
+        seed: RNG seed.
+        burst: interleave burst.
+    """
+    builder = TraceBuilder("test", n_gpus, page_size, seed=seed, burst=burst)
+    handles = {
+        name: builder.alloc(name, pages * page_size)
+        for name, pages in objects.items()
+    }
+    if explicit is None:
+        explicit = [i == 0 for i in range(len(phases))]
+    for phase_no, records in enumerate(phases):
+        builder.begin_phase(f"phase{phase_no}", explicit=explicit[phase_no])
+        for record in records:
+            gpu, name, offset, write = record[:4]
+            weight = record[4] if len(record) > 4 else 1
+            builder.emit(gpu, handles[name], offset, write, weight)
+        builder.end_phase()
+    return builder.build()
+
+
+def sweep_records(
+    gpus: range | list[int],
+    name: str,
+    n_pages: int,
+    write: bool,
+    weight: int = 1,
+) -> list[tuple]:
+    """Records for every listed GPU touching every page of an object."""
+    return [
+        (gpu, name, page, write, weight)
+        for gpu in gpus
+        for page in range(n_pages)
+    ]
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,148 @@
+"""Object Policy Controller tests: learning, self-correction, resets.
+
+Covers the state machine of Fig. 13(b) at the controller level.
+"""
+
+import pytest
+
+from repro.core import ObjectPolicyController, OTable
+from repro.core.otable import OTABLE_POLICY_COUNTER, OTABLE_POLICY_DUPLICATION
+from repro.memory import POLICY_COUNTER, POLICY_DUPLICATION
+
+
+@pytest.fixture
+def ctrl():
+    return ObjectPolicyController(OTable(), reset_threshold=8)
+
+
+class TestLearning:
+    def test_first_write_fault_learns_counter(self, ctrl):
+        # Transition (1) of Fig. 13(b): shared-write -> counter.
+        assert ctrl.on_shared_fault(0, is_write=True) == POLICY_COUNTER
+
+    def test_first_read_fault_learns_duplication(self, ctrl):
+        # Transition (2): shared-read -> duplication.
+        assert ctrl.on_shared_fault(0, is_write=False) == POLICY_DUPLICATION
+
+    def test_subsequent_faults_apply_recorded_policy(self, ctrl):
+        ctrl.on_shared_fault(0, is_write=True)
+        # Read faults while PF count != 0 must NOT flip the policy.
+        for _ in range(5):
+            assert ctrl.on_shared_fault(0, is_write=False) == POLICY_COUNTER
+
+    def test_counter_policy_sticky_on_writes(self, ctrl):
+        # Transition (5): continued shared writes keep counter.
+        ctrl.on_shared_fault(0, is_write=True)
+        for _ in range(20):
+            assert ctrl.on_shared_fault(0, is_write=True) == POLICY_COUNTER
+
+    def test_pf_count_increments(self, ctrl):
+        ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.otable.lookup(0).pf_count == 1
+
+
+class TestSelfCorrection:
+    def test_reset_at_threshold_relearns(self, ctrl):
+        # 8 faults reach the reset threshold; the 9th re-learns.
+        ctrl.on_shared_fault(0, is_write=True)
+        for _ in range(7):
+            ctrl.on_shared_fault(0, is_write=False)
+        assert ctrl.otable.lookup(0).pf_count == 0
+        assert ctrl.resets == 1
+        # Transition (3): counter -> duplication on a shared read.
+        assert ctrl.on_shared_fault(0, is_write=False) == POLICY_DUPLICATION
+
+    def test_duplication_to_counter_on_write_after_reset(self, ctrl):
+        # Transition (4): dup -> counter via protection (write) faults.
+        ctrl.on_shared_fault(0, is_write=False)
+        for _ in range(7):
+            ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.on_shared_fault(0, is_write=True) == POLICY_COUNTER
+
+    def test_stable_policy_survives_reset(self, ctrl):
+        # Re-learning the same policy is harmless (paper Section VI-B1).
+        for _ in range(30):
+            assert ctrl.on_shared_fault(0, is_write=False) == POLICY_DUPLICATION
+        assert ctrl.resets >= 3
+        assert ctrl.transitions == {}
+
+    def test_transition_counts(self, ctrl):
+        ctrl.on_shared_fault(0, is_write=True)  # dup(default) -> counter
+        key = (OTABLE_POLICY_DUPLICATION, OTABLE_POLICY_COUNTER)
+        assert ctrl.transitions[key] == 1
+
+    def test_threshold_4(self):
+        ctrl = ObjectPolicyController(OTable(), reset_threshold=4)
+        for _ in range(4):
+            ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.resets == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ObjectPolicyController(OTable(), reset_threshold=0)
+
+
+class TestKernelLaunch:
+    def test_kernel_launch_resets_pf_counts_only(self, ctrl):
+        ctrl.on_shared_fault(0, is_write=True)
+        ctrl.on_shared_fault(0, is_write=True)
+        ctrl.on_kernel_launch()
+        entry = ctrl.otable.lookup(0)
+        assert entry.pf_count == 0
+        # Policy preserved: the reset "only sets the PF count to 000".
+        assert entry.policy == OTABLE_POLICY_COUNTER
+        assert ctrl.kernel_resets == 1
+
+    def test_next_fault_after_launch_relearns(self, ctrl):
+        ctrl.on_shared_fault(0, is_write=True)
+        ctrl.on_kernel_launch()
+        assert ctrl.on_shared_fault(0, is_write=False) == POLICY_DUPLICATION
+
+
+class TestObjectLifecycle:
+    def test_alloc_initializes_entry(self, ctrl):
+        ctrl.on_alloc(7)
+        assert 7 in ctrl.otable
+
+    def test_free_removes_entry(self, ctrl):
+        ctrl.on_alloc(7)
+        ctrl.on_free(7)
+        assert 7 not in ctrl.otable
+
+    def test_evicted_object_relearns_on_fault(self):
+        ctrl = ObjectPolicyController(OTable(capacity=2), reset_threshold=8)
+        for obj in range(3):
+            ctrl.on_alloc(obj)
+        # Object 0 was evicted by the LRU; a fault re-creates its entry.
+        assert ctrl.on_shared_fault(0, is_write=True) == POLICY_COUNTER
+
+
+class TestImplicitPhaseDetection:
+    def test_reset_followed_by_flip_counts_as_detection(self):
+        ctrl = ObjectPolicyController(OTable(), reset_threshold=4)
+        # Learn counter, hit the threshold, then re-learn duplication.
+        for _ in range(4):
+            ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.resets == 1
+        ctrl.on_shared_fault(0, is_write=False)
+        assert ctrl.implicit_phase_detections == 1
+
+    def test_stable_relearn_is_not_a_detection(self):
+        ctrl = ObjectPolicyController(OTable(), reset_threshold=4)
+        for _ in range(12):
+            ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.resets >= 2
+        assert ctrl.implicit_phase_detections == 0
+
+    def test_first_learning_is_not_a_detection(self):
+        ctrl = ObjectPolicyController(OTable(), reset_threshold=8)
+        ctrl.on_shared_fault(0, is_write=True)
+        assert ctrl.implicit_phase_detections == 0
+
+    def test_kernel_reset_flip_is_not_implicit(self):
+        ctrl = ObjectPolicyController(OTable(), reset_threshold=8)
+        ctrl.on_shared_fault(0, is_write=True)
+        ctrl.on_kernel_launch()
+        ctrl.on_shared_fault(0, is_write=False)
+        assert ctrl.implicit_phase_detections == 0
+        assert ctrl.transitions  # the change itself is recorded

@@ -1,0 +1,72 @@
+"""Property-based tests for the OASIS-InMem shadow map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ShadowMap
+from repro.core.inmem import SEGMENT_BYTES, UNMAPPED
+
+
+@st.composite
+def allocations(draw):
+    """Non-overlapping (base, size, obj_id) triples, like a real allocator."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    cursor = draw(st.integers(min_value=0, max_value=1 << 20))
+    out = []
+    for obj_id in range(n):
+        cursor += draw(st.integers(min_value=0, max_value=1 << 16))
+        size = draw(st.integers(min_value=1, max_value=1 << 16))
+        out.append((cursor, size, obj_id))
+        cursor += size
+    return out
+
+
+class TestShadowMapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(allocs=allocations())
+    def test_matches_reference_segment_map(self, allocs):
+        sm = ShadowMap()
+        reference = {}
+        for base, size, obj_id in allocs:
+            sm.set_range(base, size, obj_id)
+            first = base // SEGMENT_BYTES
+            last = (base + size - 1) // SEGMENT_BYTES
+            for seg in range(first, last + 1):
+                reference[seg] = obj_id
+        for base, size, obj_id in allocs:
+            for vaddr in (base, base + size - 1, base + size // 2):
+                assert sm.lookup(vaddr) == reference[vaddr // SEGMENT_BYTES]
+
+    @settings(max_examples=40, deadline=None)
+    @given(allocs=allocations())
+    def test_clear_restores_unmapped(self, allocs):
+        sm = ShadowMap()
+        for base, size, obj_id in allocs:
+            sm.set_range(base, size, obj_id)
+        for base, size, _obj_id in allocs:
+            sm.clear_range(base, size)
+        for base, size, _ in allocs:
+            assert sm.lookup(base) == UNMAPPED
+            assert sm.lookup(base + size - 1) == UNMAPPED
+
+    @settings(max_examples=40, deadline=None)
+    @given(allocs=allocations())
+    def test_entry_count_matches_segment_count(self, allocs):
+        sm = ShadowMap()
+        for base, size, obj_id in allocs:
+            written = sm.set_range(base, size, obj_id)
+            first = base // SEGMENT_BYTES
+            last = (base + size - 1) // SEGMENT_BYTES
+            assert written == last - first + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(allocs=allocations())
+    def test_memory_accounting_monotonic(self, allocs):
+        sm = ShadowMap()
+        previous = sm.second_level_bytes
+        for base, size, obj_id in allocs:
+            sm.set_range(base, size, obj_id)
+            assert sm.second_level_bytes >= previous
+            previous = sm.second_level_bytes
+        # Table granularity: every allocated table is 8 KB of entries.
+        assert sm.second_level_bytes == sm.level2_tables * (1 << 12) * 2

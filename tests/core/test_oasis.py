@@ -1,0 +1,158 @@
+"""OASIS end-to-end behavioural tests on small hand-built traces."""
+
+from repro.core import OasisPolicy
+from repro.memory import POLICY_COUNTER, POLICY_DUPLICATION, POLICY_ON_TOUCH
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run_oasis(trace, config, **config_changes):
+    if config_changes:
+        config = config.replace(**config_changes)
+    policy = OasisPolicy()
+    machine = Machine(config, trace, policy)
+    result = machine.run()
+    return machine, policy, result
+
+
+class TestPrivateObjects:
+    def test_private_pages_stay_on_touch(self, config):
+        trace = make_trace(
+            {"priv": 4},
+            [[(g, "priv", p, True, 4) for g in range(4) for p in (g,)]],
+        )
+        machine, policy, result = run_oasis(trace, config)
+        # Each GPU touched its own page: host PT filter says private,
+        # resolved by default on-touch, never forwarded to the O-Table.
+        assert result.stats["oasis.private_fault"] == 4
+        assert result.stats.get("oasis.shared_fault", 0) == 0
+        pt = machine.page_tables
+        first = trace.first_page
+        for g in range(4):
+            assert pt.location(first + g) == g
+            assert pt.policy(first + g) == POLICY_ON_TOUCH
+
+    def test_private_faults_bypass_otable(self, config):
+        trace = make_trace({"priv": 2}, [[(0, "priv", 0, False, 8)]])
+        _, policy, _ = run_oasis(trace, config)
+        assert policy.otable.hits == 0
+
+
+class TestSharedReadObjects:
+    def test_shared_reads_learn_duplication(self, config):
+        records = sweep_records(range(4), "ro", 4, write=False, weight=8)
+        trace = make_trace({"ro": 4}, [records])
+        machine, policy, result = run_oasis(trace, config)
+        first = trace.first_page
+        # Pages migrated on first touch, then duplicated for later GPUs.
+        assert result.duplications > 0
+        assert machine.page_tables.policy(first) == POLICY_DUPLICATION
+        # All four GPUs end up with local copies.
+        assert len(machine.page_tables.copy_holders(first)) >= 2
+
+    def test_shared_read_object_reaches_all_local(self, config):
+        records = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        trace = make_trace({"ro": 2}, [records, records],
+                           explicit=[True, False])
+        machine, _, result = run_oasis(trace, config)
+        # Second sweep is all local: no faults beyond the first sweep's.
+        assert result.stats["access.local"] > 0
+        assert result.stats.get("access.remote", 0) == 0
+
+
+class TestSharedWriteObjects:
+    def test_shared_writes_learn_counter(self, config):
+        records = sweep_records(range(4), "rw", 4, write=True, weight=4)
+        trace = make_trace({"rw": 4}, [records])
+        machine, policy, result = run_oasis(trace, config)
+        first = trace.first_page
+        assert machine.page_tables.policy(first) == POLICY_COUNTER
+        # Counter-mode pages are remote-mapped, not migrated per write.
+        assert result.stats["remote_map.count"] > 0
+
+
+class TestExplicitPhaseReset:
+    def test_kernel_launch_resets_pf_counts(self, config):
+        records = sweep_records(range(4), "obj", 2, write=False, weight=2)
+        trace = make_trace({"obj": 2}, [records, records],
+                           explicit=[True, True])
+        _, policy, result = run_oasis(trace, config)
+        assert policy.controller.kernel_resets == 2
+        assert result.stats["oasis.kernel_resets"] == 2
+
+    def test_implicit_phase_does_not_reset(self, config):
+        records = sweep_records(range(4), "obj", 2, write=False, weight=2)
+        trace = make_trace({"obj": 2}, [records, records],
+                           explicit=[True, False])
+        _, policy, _ = run_oasis(trace, config)
+        assert policy.controller.kernel_resets == 1
+
+
+class TestPatternChange:
+    def test_object_transitions_dup_to_counter_across_phases(self, config):
+        reads = sweep_records(range(4), "obj", 4, write=False, weight=4)
+        writes = sweep_records(range(4), "obj", 4, write=True, weight=4)
+        trace = make_trace({"obj": 4}, [reads, writes],
+                           explicit=[True, True])
+        machine, policy, _ = run_oasis(trace, config)
+        first = trace.first_page
+        # After the write phase the object's policy must be counter.
+        from repro.core.otable import OTABLE_POLICY_COUNTER
+        entry = policy.otable.lookup(0)
+        assert entry.policy == OTABLE_POLICY_COUNTER
+        assert machine.page_tables.policy(first) in (
+            POLICY_COUNTER, POLICY_DUPLICATION
+        )
+
+    def test_write_to_duplicated_page_collapses(self, config):
+        reads = sweep_records(range(4), "obj", 2, write=False, weight=4)
+        writes = [(1, "obj", 0, True, 4)]
+        trace = make_trace({"obj": 2}, [reads, writes],
+                           explicit=[True, True])
+        machine, _, result = run_oasis(trace, config)
+        assert result.collapses >= 1
+        first = trace.first_page
+        assert machine.page_tables.copy_holders(first) == [1]
+
+
+class TestOversubscriptionFix:
+    def test_evicted_shared_page_still_treated_as_shared(self, config):
+        """Section VI-D: host-resident pages with non-default policy bits
+        route to the O-Table instead of being misclassified private."""
+        trace = make_trace({"obj": 2}, [[(0, "obj", 0, False)]])
+        machine, policy, _ = run_oasis(trace, config)
+        first = trace.first_page
+        pt = machine.page_tables
+        # Force the page into the post-eviction state: on host, but
+        # carrying duplication policy bits.
+        machine.driver.evict(first)
+        pt.set_policy(first, POLICY_DUPLICATION)
+        shared_before = machine.stats["oasis.shared_fault"]
+        cost = policy.on_fault(2, first, is_write=False)
+        assert machine.stats["oasis.shared_fault"] == shared_before + 1
+        assert cost > 0
+
+
+class TestManyObjects:
+    def test_more_objects_than_otable_entries(self, config):
+        objects = {f"o{i}": 1 for i in range(20)}
+        records = [
+            (g, f"o{i}", 0, False, 2) for i in range(20) for g in range(2)
+        ]
+        trace = make_trace(objects, [records])
+        _, policy, result = run_oasis(trace, config)
+        assert policy.otable.evictions > 0
+        assert result.total_time_ns > 0
+
+
+class TestCounterModeRemoteAccess:
+    def test_counter_threshold_triggers_group_migration(self, config):
+        config = config.replace(access_counter_threshold=8)
+        writes = [(0, "obj", p, True) for p in range(2)]
+        remote = [(1, "obj", 0, True, 64), (1, "obj", 1, True, 64)]
+        trace = make_trace({"obj": 2}, [writes, remote, remote],
+                           explicit=[True, True, True])
+        machine, _, result = run_oasis(trace, config)
+        assert result.stats.get("migration.counter_triggered", 0) > 0
+        first = trace.first_page
+        assert machine.page_tables.location(first) == 1

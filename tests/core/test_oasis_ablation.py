@@ -1,0 +1,54 @@
+"""OASIS ablation-flag tests."""
+
+from repro.core import OasisPolicy
+from repro.sim.machine import Machine, simulate
+from tests.conftest import make_trace, sweep_records
+
+
+class TestExplicitResetFlag:
+    def test_disabled_resets_skip_kernel_launches(self, config):
+        records = sweep_records(range(4), "obj", 2, write=False, weight=2)
+        trace = make_trace({"obj": 2}, [records, records],
+                           explicit=[True, True])
+        policy = OasisPolicy(explicit_resets=False)
+        Machine(config, trace, policy).run()
+        assert policy.controller.kernel_resets == 0
+
+
+class TestPrivateFilterFlag:
+    def test_disabled_filter_routes_first_touch_to_otable(self, config):
+        trace = make_trace({"obj": 2}, [[(0, "obj", 0, False, 4)]])
+        policy = OasisPolicy(private_filter=False)
+        machine = Machine(config, trace, policy)
+        result = machine.run()
+        assert result.stats.get("oasis.private_fault", 0) == 0
+        assert result.stats["oasis.shared_fault"] == 1
+
+    def test_enabled_filter_skips_otable_for_first_touch(self, config):
+        trace = make_trace({"obj": 2}, [[(0, "obj", 0, False, 4)]])
+        policy = OasisPolicy(private_filter=True)
+        result = Machine(config, trace, policy).run()
+        assert result.stats["oasis.private_fault"] == 1
+
+
+class TestCapacityGuardFlag:
+    def _oversub_trace(self):
+        records = []
+        for _ in range(2):
+            records += sweep_records(range(4), "ro", 16, write=False,
+                                     weight=32)
+        return make_trace({"ro": 16}, [records])
+
+    def test_guard_degrades_duplication(self, config):
+        config = config.replace(oversubscription=4.0)
+        result = simulate(config, self._oversub_trace(),
+                          OasisPolicy(capacity_guard=True))
+        assert result.stats.get("oasis.duplication_degraded", 0) > 0
+
+    def test_no_guard_duplicates_and_evicts(self, config):
+        config = config.replace(oversubscription=4.0)
+        result = simulate(config, self._oversub_trace(),
+                          OasisPolicy(capacity_guard=False))
+        assert result.stats.get("oasis.duplication_degraded", 0) == 0
+        assert (result.evictions
+                + result.stats.get("eviction.copy_dropped", 0)) > 0

@@ -1,0 +1,133 @@
+"""O-Table tests: 12-bit entry packing and LRU management (Fig. 11)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import OTable
+from repro.core.otable import (
+    ENTRY_BITS,
+    OTABLE_POLICY_COUNTER,
+    OTABLE_POLICY_DUPLICATION,
+    pack_entry,
+    unpack_entry,
+)
+
+
+class TestEntryPacking:
+    def test_entry_is_12_bits(self):
+        assert ENTRY_BITS == 12
+
+    def test_pack_layout(self):
+        # Obj_ID=0b1111, policy=1, pf=0b101, lru=0b0011
+        word = pack_entry(0b1111, 1, 0b101, 0b0011)
+        assert word == (0b1111 << 8) | (1 << 7) | (0b101 << 4) | 0b0011
+
+    def test_roundtrip_corners(self):
+        for fields in [(0, 0, 0, 0), (15, 1, 7, 15)]:
+            assert unpack_entry(pack_entry(*fields)) == fields
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_entry(16, 0, 0, 0)
+        with pytest.raises(ValueError):
+            pack_entry(0, 2, 0, 0)
+        with pytest.raises(ValueError):
+            pack_entry(0, 0, 8, 0)
+        with pytest.raises(ValueError):
+            pack_entry(0, 0, 0, 16)
+
+    @given(
+        obj_id=st.integers(0, 15), policy=st.integers(0, 1),
+        pf=st.integers(0, 7), lru=st.integers(0, 15),
+    )
+    def test_roundtrip_property(self, obj_id, policy, pf, lru):
+        word = pack_entry(obj_id, policy, pf, lru)
+        assert 0 <= word < (1 << 12)
+        assert unpack_entry(word) == (obj_id, policy, pf, lru)
+
+
+class TestOTable:
+    def test_new_entry_defaults(self):
+        table = OTable()
+        entry = table.insert(3)
+        assert entry.policy == OTABLE_POLICY_DUPLICATION  # "0"
+        assert entry.pf_count == 0
+
+    def test_capacity_is_16_by_default(self):
+        table = OTable()
+        assert table.capacity == 16
+        assert table.storage_bits == 12 * 16  # 24 bytes (Section V-E)
+
+    def test_lookup_miss_returns_none(self):
+        table = OTable()
+        assert table.lookup(5) is None
+        assert table.misses == 1
+
+    def test_lookup_hit(self):
+        table = OTable()
+        table.insert(5)
+        assert table.lookup(5) is not None
+        assert table.hits == 1
+
+    def test_lru_eviction_order(self):
+        table = OTable(capacity=2)
+        table.insert(0)
+        table.insert(1)
+        table.lookup(0)  # refresh 0; 1 is LRU
+        table.insert(2)
+        assert 1 not in table
+        assert 0 in table
+        assert table.evictions == 1
+
+    def test_insert_existing_resets(self):
+        table = OTable()
+        entry = table.insert(1)
+        entry.policy = OTABLE_POLICY_COUNTER
+        entry.pf_count = 5
+        fresh = table.insert(1)
+        assert fresh.policy == OTABLE_POLICY_DUPLICATION
+        assert fresh.pf_count == 0
+        assert len(table) == 1
+
+    def test_lookup_or_insert_recreates_evicted(self):
+        table = OTable(capacity=1)
+        table.insert(0)
+        table.insert(1)  # evicts 0
+        entry = table.lookup_or_insert(0)
+        assert entry.obj_id == 0
+        assert entry.pf_count == 0
+
+    def test_remove(self):
+        table = OTable()
+        table.insert(4)
+        assert table.remove(4)
+        assert not table.remove(4)
+        assert 4 not in table
+
+    def test_reset_all_pf_counts(self):
+        table = OTable()
+        for i in range(3):
+            table.insert(i).pf_count = 5
+        assert table.reset_all_pf_counts() == 3
+        assert all(e.pf_count == 0 for e in table.entries())
+
+    def test_packed_words_valid(self):
+        table = OTable()
+        for i in range(4):
+            entry = table.insert(i)
+            entry.pf_count = i % 8
+        words = table.packed_words()
+        assert len(words) == 4
+        assert all(0 <= w < (1 << 12) for w in words)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            OTable(capacity=0)
+
+    @given(ops=st.lists(st.integers(0, 30), max_size=60))
+    def test_never_exceeds_capacity(self, ops):
+        table = OTable(capacity=4)
+        for obj in ops:
+            table.lookup_or_insert(obj)
+            assert len(table) <= 4

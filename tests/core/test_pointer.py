@@ -1,0 +1,70 @@
+"""Tagged-pointer tests (Figs. 9-10)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import decode_pointer, encode_pointer, strip_tag
+from repro.core.pointer import ADDRESS_MASK, config_bit
+from repro.memory.address_space import ADDR_BITS
+
+
+class TestEncoding:
+    def test_obj_id_lands_above_bit_48(self):
+        tagged = encode_pointer(0x1000, obj_id=0b1010, config=1)
+        assert tagged >> (ADDR_BITS + 1) == 0b1010
+
+    def test_config_bit_at_bit_48(self):
+        assert (encode_pointer(0, 0, 1) >> ADDR_BITS) & 1 == 1
+        assert (encode_pointer(0, 0, 0) >> ADDR_BITS) & 1 == 0
+
+    def test_address_preserved(self):
+        tagged = encode_pointer(0xDEADBEEF, obj_id=7, config=1)
+        assert strip_tag(tagged) == 0xDEADBEEF
+
+    def test_preexisting_upper_bits_cleared(self):
+        # Fig. 10: MASK clears any pre-existing higher bits.
+        dirty = (0xFF << ADDR_BITS) | 0x1234
+        tagged = encode_pointer(dirty, obj_id=3, config=1)
+        assert strip_tag(tagged) == 0x1234
+        _, obj_id, _ = decode_pointer(tagged)
+        assert obj_id == 3
+
+    def test_obj_id_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_pointer(0, obj_id=16, config=1, obj_id_bits=4)
+
+    def test_wide_obj_id_field(self):
+        tagged = encode_pointer(0, obj_id=30000, config=0, obj_id_bits=15)
+        _, obj_id, cfg = decode_pointer(tagged, obj_id_bits=15)
+        assert obj_id == 30000
+        assert cfg == 0
+
+    def test_max_obj_id_bits_is_15(self):
+        with pytest.raises(ValueError):
+            encode_pointer(0, 0, 1, obj_id_bits=16)
+
+    def test_bad_config_bit_rejected(self):
+        with pytest.raises(ValueError):
+            encode_pointer(0, 0, 2)
+
+    def test_config_bit_helper(self):
+        assert config_bit(encode_pointer(0, 5, 1)) == 1
+        assert config_bit(encode_pointer(0, 5, 0)) == 0
+
+    def test_strip_tag_is_tbi_mask(self):
+        tagged = encode_pointer(ADDRESS_MASK, obj_id=15, config=1)
+        assert strip_tag(tagged) == ADDRESS_MASK
+
+    @given(
+        ptr=st.integers(min_value=0, max_value=(1 << ADDR_BITS) - 1),
+        obj_id=st.integers(min_value=0, max_value=15),
+        config=st.integers(min_value=0, max_value=1),
+    )
+    def test_roundtrip(self, ptr, obj_id, config):
+        tagged = encode_pointer(ptr, obj_id, config)
+        address, decoded_id, decoded_cfg = decode_pointer(tagged)
+        assert address == ptr
+        assert decoded_id == obj_id
+        assert decoded_cfg == config
+        assert tagged < (1 << 64)

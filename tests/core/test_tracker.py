@@ -1,0 +1,51 @@
+"""Object Tracker tests (Section V-B)."""
+
+import pytest
+
+from repro.core import ObjectTracker
+
+
+class TestObjectTracker:
+    def test_ids_assigned_in_allocation_order(self):
+        tracker = ObjectTracker()
+        objs = [tracker.malloc_managed(i * 0x10000, 4096) for i in range(3)]
+        assert [o.obj_id for o in objs] == [0, 1, 2]
+
+    def test_pointer_tagged_with_id_and_config(self):
+        tracker = ObjectTracker(config_bit=1)
+        obj = tracker.malloc_managed(0x4000, 4096, name="A")
+        assert tracker.extract_obj_id(obj.tagged_pointer) == 0
+        assert tracker.dereference(obj.tagged_pointer) == 0x4000
+
+    def test_inmem_config_bit_zero(self):
+        tracker = ObjectTracker(config_bit=0)
+        obj = tracker.malloc_managed(0x4000, 4096)
+        assert (obj.tagged_pointer >> 48) & 1 == 0
+
+    def test_tag_wraps_at_field_width(self):
+        tracker = ObjectTracker(obj_id_bits=4)
+        objs = [tracker.malloc_managed(i * 0x10000, 4096) for i in range(17)]
+        assert objs[16].obj_id == 16
+        assert tracker.extract_obj_id(objs[16].tagged_pointer) == 0
+
+    def test_free(self):
+        tracker = ObjectTracker()
+        obj = tracker.malloc_managed(0, 4096)
+        assert tracker.live_objects == 1
+        assert tracker.free(obj.obj_id)
+        assert tracker.live_objects == 0
+        assert not tracker.free(obj.obj_id)
+
+    def test_object_for(self):
+        tracker = ObjectTracker()
+        obj = tracker.malloc_managed(0x1000, 4096, name="X")
+        assert tracker.object_for(0).name == "X"
+        assert tracker.object_for(99) is None
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectTracker().malloc_managed(0, 0)
+
+    def test_bad_config_bit_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectTracker(config_bit=2)

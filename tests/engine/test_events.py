@@ -1,0 +1,86 @@
+"""Event queue tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine import Event, EventQueue
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, "x")
+
+    def test_payload_defaults_to_none(self):
+        assert Event(0.0, "x").payload is None
+
+    def test_frozen(self):
+        event = Event(1.0, "x")
+        with pytest.raises(AttributeError):
+            event.time = 2.0
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_within_same_timestamp(self):
+        q = EventQueue()
+        for kind in "abc":
+            q.schedule(5.0, kind)
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.schedule(1.0, "x")
+        assert q
+        assert len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        assert q.peek().kind == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_drain_returns_sorted(self):
+        q = EventQueue()
+        for t in (5.0, 1.0, 3.0):
+            q.schedule(t, "e")
+        times = [e.time for e in q.drain()]
+        assert times == [1.0, 3.0, 5.0]
+        assert not q
+
+    def test_schedule_returns_event(self):
+        q = EventQueue()
+        event = q.schedule(2.0, "k", payload={"a": 1})
+        assert event.time == 2.0
+        assert event.payload == {"a": 1}
+
+    def test_incomparable_payloads_do_not_break_ordering(self):
+        q = EventQueue()
+        q.schedule(1.0, "a", payload={"x": 1})
+        q.schedule(1.0, "b", payload={"y": 2})
+        assert q.pop().kind == "a"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e12), max_size=50))
+    def test_drain_always_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.schedule(t, "e")
+        drained = [e.time for e in q.drain()]
+        assert drained == sorted(times)

@@ -1,0 +1,76 @@
+"""SerialServer (UVM driver queue model) tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine import SerialServer
+
+
+class TestSerialServer:
+    def test_idle_server_starts_immediately(self):
+        s = SerialServer()
+        assert s.submit(10.0, 5.0) == 15.0
+
+    def test_busy_server_queues(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        # Arrives at t=2 but server busy until 10.
+        assert s.submit(2.0, 5.0) == 15.0
+
+    def test_late_arrival_after_idle_gap(self):
+        s = SerialServer()
+        s.submit(0.0, 1.0)
+        assert s.submit(100.0, 1.0) == 101.0
+
+    def test_busy_time_accumulates_service_only(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        s.submit(50.0, 5.0)
+        assert s.busy_time == 15.0
+
+    def test_request_count(self):
+        s = SerialServer()
+        for _ in range(3):
+            s.submit(0.0, 1.0)
+        assert s.request_count == 3
+
+    def test_zero_service_advances_free_at(self):
+        s = SerialServer()
+        s.submit(5.0, 0.0)
+        assert s.free_at == 5.0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            SerialServer().submit(0.0, -1.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            SerialServer().submit(-1.0, 1.0)
+
+    def test_reset(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        s.reset()
+        assert s.free_at == 0.0
+        assert s.busy_time == 0.0
+        assert s.request_count == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e9),
+                st.floats(min_value=0, max_value=1e6),
+            ),
+            max_size=40,
+        )
+    )
+    def test_completions_monotonic_and_busy_exact(self, reqs):
+        s = SerialServer()
+        last_done = 0.0
+        for arrival, service in reqs:
+            done = s.submit(arrival, service)
+            assert done >= arrival + service
+            assert done >= last_done
+            last_done = done
+        assert s.busy_time == pytest.approx(sum(r[1] for r in reqs))

@@ -1,0 +1,99 @@
+"""ASCII chart tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_largest_value_gets_full_width(self):
+        out = bar_chart([("a", 2.0), ("b", 4.0)], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 10
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 1.0), ("a-long-label", 2.0)])
+        first, second = out.splitlines()
+        assert first.index("#") == second.index("#")
+
+    def test_values_printed(self):
+        out = bar_chart([("x", 1.234)])
+        assert "1.23" in out
+
+    def test_reference_tick_rendered(self):
+        out = bar_chart([("x", 0.5)], width=20, reference=1.0)
+        assert "|" in out
+
+    def test_tick_overlapping_bar_uses_plus(self):
+        out = bar_chart([("x", 1.0)], width=20, reference=1.0)
+        assert "+" in out
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_all_zero_values(self):
+        out = bar_chart([("a", 0.0)])
+        assert "0.00" in out
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+    @given(
+        values=st.lists(
+            st.tuples(st.text(min_size=1, max_size=6,
+                              alphabet="abcdefgh"),
+                      st.floats(min_value=0, max_value=1e6)),
+            min_size=1, max_size=10,
+        )
+    )
+    def test_never_exceeds_width_budget(self, values):
+        out = bar_chart(values, width=30)
+        for line in out.splitlines():
+            assert line.count("#") <= 30
+
+
+class TestGroupedBarChart:
+    def test_one_group_per_row(self):
+        rows = [["mm", 1.0, 2.0], ["st", 1.5, 0.5]]
+        out = grouped_bar_chart(rows, ["app", "a", "b"], [1, 2])
+        assert "mm:" in out
+        assert "st:" in out
+        assert out.count("#") > 0
+
+
+class TestExperimentChart:
+    def test_speedup_table_charts_geomean(self):
+        from repro.harness import ExperimentResult
+        from repro.harness.charts import experiment_chart
+
+        result = ExperimentResult(
+            "e", "t", ["app", "oasis", "grit"],
+            [["mm", 2.0, 1.5], ["geomean", 1.8, 1.4]],
+        )
+        out = experiment_chart(result)
+        assert "oasis" in out and "grit" in out
+        assert "1.80" in out
+
+    def test_single_column_charts_rows(self):
+        from repro.harness import ExperimentResult
+        from repro.harness.charts import experiment_chart
+
+        result = ExperimentResult("e", "t", ["bucket", "count"],
+                                  [["<=1", 5], [">1", 10]])
+        out = experiment_chart(result)
+        assert "<=1" in out
+
+    def test_non_numeric_not_chartable(self):
+        from repro.harness import ExperimentResult
+        from repro.harness.charts import experiment_chart
+
+        result = ExperimentResult("e", "t", ["a", "b"], [["x", "y"]])
+        assert experiment_chart(result) == "(not chartable)"

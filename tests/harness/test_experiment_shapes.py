@@ -1,0 +1,41 @@
+"""Cheap structural tests for experiment functions (no simulation)."""
+
+from repro.harness.experiments import (
+    ALL_POLICIES,
+    DEFAULT_APPS,
+    UNIFORM_POLICIES,
+    _pct,
+    table1,
+    table2,
+)
+from repro.workloads import APPLICATION_ORDER
+
+
+class TestConstants:
+    def test_default_apps_are_the_paper_eleven(self):
+        assert DEFAULT_APPS == list(APPLICATION_ORDER)
+        assert len(DEFAULT_APPS) == 11
+
+    def test_policy_lists(self):
+        assert UNIFORM_POLICIES == ["access_counter", "duplication", "ideal"]
+        assert set(UNIFORM_POLICIES) <= set(ALL_POLICIES)
+        assert "oasis" in ALL_POLICIES
+        assert "oasis_inmem" in ALL_POLICIES
+
+    def test_pct_formatting(self):
+        assert _pct(1.64) == "+64%"
+        assert _pct(0.80) == "-20%"
+        assert _pct(1.0) == "+0%"
+
+
+class TestStaticExperiments:
+    def test_table1_shape(self):
+        result = table1()
+        assert result.exp_id == "table1"
+        assert len(result.headers) == 2
+        assert len(result.rows) >= 10
+
+    def test_table2_rows_per_app(self):
+        result = table2(apps=["mm", "st"])
+        assert len(result.rows) == 2
+        assert result.rows[0][0] == "mm"

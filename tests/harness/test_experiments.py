@@ -1,0 +1,70 @@
+"""Experiment registry smoke tests (small app subsets for speed)."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+FAST_APPS = ["mm", "st"]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1", "table2", "table3",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig22", "fig23", "fig24", "fig25",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestCharacterizationExperiments:
+    def test_table1_static(self):
+        result = run_experiment("table1")
+        assert result.row_dict()["GPUs"][1] == 4
+
+    def test_fig4_mt_patterns(self):
+        result = run_experiment("fig4")
+        rows = result.row_dict()
+        assert rows["MT_Input"][2] == "shared-read-only"
+        assert rows["MT_Output"][2] == "private-write-only"
+
+    def test_fig5_object_labels(self):
+        result = run_experiment("fig5")
+        rows = {(r[0], r[1]): r for r in result.rows}
+        assert rows[("mm", "MM_A")][2] == "shared-read-only"
+        assert rows[("st", "ST_currData")][2] == "shared-rw-mix"
+        assert rows[("i2c", "I2C_Output")][2] == "private-rw-mix"
+
+    def test_fig7_alternation(self):
+        result = run_experiment("fig7")
+        first = result.rows[0][2].split()
+        assert first[0] != first[1]  # roles alternate
+
+
+class TestPerformanceExperiments:
+    def test_fig2_normalization(self):
+        result = run_experiment("fig2", apps=FAST_APPS)
+        assert result.headers[0] == "app"
+        geomean_row = result.rows[-1]
+        assert geomean_row[0] == "geomean"
+        assert all(v > 0 for v in geomean_row[1:])
+
+    def test_fig15_oasis_beats_on_touch(self):
+        result = run_experiment("fig15", apps=FAST_APPS)
+        row = result.row_dict()["geomean"]
+        oasis = row[result.headers.index("oasis")]
+        assert oasis > 1.0
+
+    def test_fig22_relative_to_grit(self):
+        result = run_experiment("fig22", apps=FAST_APPS)
+        assert result.rows[-1][0] == "geomean"
+
+    def test_fig24_fault_totals(self):
+        result = run_experiment("fig24", apps=FAST_APPS)
+        total = result.row_dict()["total"]
+        assert total[1] > 0 and total[2] > 0

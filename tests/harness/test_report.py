@@ -1,0 +1,96 @@
+"""Report formatting tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness import ExperimentResult, format_table, geomean
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_singleton(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) <= g * (1 + 1e-9)
+        assert g <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=10))
+    def test_scale_invariance(self, values):
+        g = geomean(values)
+        assert geomean([v * 2 for v in values]) == pytest.approx(2 * g)
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        out = format_table(["app", "x"], [["mm", 1.5], ["bfs", 10.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            "figX", "Title", ["a"], [["row"]],
+            paper_claim="paper says", measured_claim="we measure",
+            notes=["careful"],
+        )
+        text = result.render()
+        for piece in ("figX", "Title", "row", "paper says", "we measure",
+                      "careful"):
+            assert piece in text
+
+    def test_save(self, tmp_path):
+        result = ExperimentResult("figY", "T", ["a"], [[1]])
+        path = result.save(tmp_path)
+        assert path.name == "figY.txt"
+        assert "figY" in path.read_text()
+
+    def test_row_dict(self):
+        result = ExperimentResult("e", "t", ["app", "v"],
+                                  [["mm", 1], ["st", 2]])
+        assert result.row_dict()["st"] == ["st", 2]
+
+
+class TestSerialization:
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        result = ExperimentResult(
+            "e", "t", ["app", "v"], [["mm", 1.5]],
+            paper_claim="p", measured_claim="m", notes=["n"],
+        )
+        blob = json.dumps(result.to_dict())
+        restored = json.loads(blob)
+        assert restored["exp_id"] == "e"
+        assert restored["rows"] == [["mm", 1.5]]
+        assert restored["notes"] == ["n"]
+
+    def test_save_writes_json_twin(self, tmp_path):
+        result = ExperimentResult("figZ", "T", ["a"], [[1]])
+        result.save(tmp_path)
+        assert (tmp_path / "figZ.json").exists()

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: policies compete on synthetic scenarios
+whose winners the paper predicts (Observation 3), plus cross-policy
+consistency checks on real (small) application traces."""
+
+import pytest
+
+from repro import baseline_config, make_policy, simulate
+from repro.sim.machine import Machine
+from repro.workloads import get_workload
+from tests.conftest import make_trace, sweep_records
+
+
+def times_for(trace, config, policies):
+    return {
+        name: simulate(config, trace, make_policy(name)).total_time_ns
+        for name in policies
+    }
+
+
+UNIFORM = ["on_touch", "access_counter", "duplication"]
+
+
+class TestObservation3:
+    """Different objects prefer specific policies."""
+
+    def test_private_object_prefers_on_touch(self, config):
+        # Heavily reused private data: on-touch migrates once; the
+        # counter policy strands it behind the threshold.
+        records = []
+        for sweep in range(3):
+            for g in range(4):
+                for p in range(8):
+                    records.append((g, "priv", g * 8 + p, sweep > 0, 64))
+        trace = make_trace({"priv": 32}, [records])
+        t = times_for(trace, config, UNIFORM)
+        assert t["on_touch"] < t["access_counter"]
+        assert t["on_touch"] <= t["duplication"] * 1.05
+
+    def test_shared_read_only_prefers_duplication(self, config):
+        records = []
+        for _sweep in range(4):
+            records += sweep_records(range(4), "ro", 16, write=False,
+                                     weight=64)
+        trace = make_trace({"ro": 16}, [records])
+        t = times_for(trace, config, UNIFORM)
+        assert t["duplication"] == min(t.values())
+
+    def test_shared_write_prefers_counter(self, config):
+        records = []
+        for _sweep in range(4):
+            records += sweep_records(range(4), "rw", 16, write=True,
+                                     weight=8)
+        trace = make_trace({"rw": 16}, [records])
+        t = times_for(trace, config, UNIFORM)
+        assert t["access_counter"] == min(t.values())
+
+    def test_oasis_tracks_the_best_uniform_policy(self, config):
+        """On a mixed workload OASIS should approach the per-object best."""
+        records = []
+        for _sweep in range(3):
+            records += sweep_records(range(4), "ro", 8, write=False,
+                                     weight=64)
+            records += sweep_records(range(4), "rw", 8, write=True, weight=8)
+            records += [(g, "priv", g * 2 + p, True, 64)
+                        for g in range(4) for p in range(2)]
+        trace = make_trace({"ro": 8, "rw": 8, "priv": 8}, [records])
+        t = times_for(trace, config, UNIFORM + ["oasis", "ideal"])
+        assert t["oasis"] <= min(t[p] for p in UNIFORM)
+        assert t["ideal"] <= t["oasis"]
+
+
+class TestCrossPolicyConsistency:
+    """Identical traces must produce consistent bookkeeping everywhere."""
+
+    POLICIES = ["on_touch", "access_counter", "duplication", "ideal",
+                "grit", "oasis", "oasis_inmem"]
+
+    @pytest.mark.parametrize("app", ["mm", "st", "bfs"])
+    def test_total_accesses_preserved(self, app, config):
+        trace = get_workload(app, config, footprint_mb=4)
+        for name in self.POLICIES:
+            result = simulate(config, trace, make_policy(name))
+            replayed = (
+                result.stats.get("access.local", 0)
+                + result.stats.get("access.remote", 0)
+                + result.stats.get("access.host", 0)
+                + result.page_faults  # faulting access itself
+            )
+            assert replayed == trace.total_accesses, name
+
+    @pytest.mark.parametrize("app", ["mm", "st"])
+    def test_page_table_invariants_after_run(self, app, config):
+        trace = get_workload(app, config, footprint_mb=4)
+        for name in self.POLICIES:
+            machine = Machine(config, trace, make_policy(name))
+            machine.run()
+            machine.page_tables.check_invariants()
+
+    def test_determinism(self, config):
+        trace = get_workload("bfs", config, footprint_mb=4)
+        a = simulate(config, trace, make_policy("oasis"))
+        b = simulate(config, trace, make_policy("oasis"))
+        assert a.total_time_ns == b.total_time_ns
+        assert a.stats == b.stats
+
+
+class TestOversubscriptionEndToEnd:
+    def test_evictions_occur_and_oasis_stays_competitive(self, config):
+        config = config.replace(oversubscription=1.5)
+        trace = get_workload("mm", config, footprint_mb=8)
+        on_touch = simulate(config, trace, make_policy("on_touch"))
+        oasis = simulate(config, trace, make_policy("oasis"))
+        assert on_touch.evictions > 0
+        # Gains are compressed under oversubscription (Fig. 25); OASIS
+        # must at least not thrash itself below the baseline.
+        assert oasis.speedup_over(on_touch) > 0.95
+
+    def test_capacity_guard_degrades_duplication(self, config):
+        config = config.replace(oversubscription=1.5)
+        trace = get_workload("mm", config, footprint_mb=8)
+        result = simulate(config, trace, make_policy("oasis"))
+        assert result.stats.get("oasis.duplication_degraded", 0) > 0
+
+    def test_oasis_wins_on_counter_friendly_app(self, config):
+        config = config.replace(oversubscription=1.5)
+        trace = get_workload("bfs", config, footprint_mb=8)
+        on_touch = simulate(config, trace, make_policy("on_touch"))
+        oasis = simulate(config, trace, make_policy("oasis"))
+        assert oasis.speedup_over(on_touch) > 1.0
+
+
+class TestGpuCountScaling:
+    @pytest.mark.parametrize("n_gpus", [2, 8])
+    def test_policies_run_at_other_gpu_counts(self, n_gpus):
+        config = baseline_config(n_gpus=n_gpus)
+        trace = get_workload("mm", config, footprint_mb=8)
+        for name in ("on_touch", "oasis"):
+            result = simulate(config, trace, make_policy(name))
+            assert result.total_time_ns > 0
+            assert result.n_gpus == n_gpus
+
+
+class TestLargePagesEndToEnd:
+    def test_all_policies_run_with_2mb_pages(self):
+        from repro.config import PAGE_SIZE_2M
+
+        config = baseline_config(page_size=PAGE_SIZE_2M)
+        trace = get_workload("mm", config)
+        for name in ("on_touch", "access_counter", "duplication", "oasis"):
+            result = simulate(config, trace, make_policy(name))
+            assert result.total_time_ns > 0

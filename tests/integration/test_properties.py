@@ -1,0 +1,105 @@
+"""Property-based integration tests: random traces through every policy.
+
+For arbitrary (small) traces, every policy must conserve the access
+stream, keep the page tables structurally sound, keep TLBs consistent
+with the page tables, and stay deterministic.  The Ideal policy must be
+within a whisker of the fastest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import baseline_config, make_policy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace
+
+POLICIES = ["on_touch", "access_counter", "duplication", "ideal", "grit",
+            "oasis", "oasis_inmem"]
+
+N_OBJECTS = 3
+PAGES_PER_OBJECT = 4
+
+
+@st.composite
+def random_traces(draw):
+    n_phases = draw(st.integers(min_value=1, max_value=3))
+    phases = []
+    for _ in range(n_phases):
+        n_records = draw(st.integers(min_value=0, max_value=25))
+        records = [
+            (
+                draw(st.integers(0, 3)),
+                f"o{draw(st.integers(0, N_OBJECTS - 1))}",
+                draw(st.integers(0, PAGES_PER_OBJECT - 1)),
+                draw(st.booleans()),
+                draw(st.integers(1, 20)),
+            )
+            for _ in range(n_records)
+        ]
+        phases.append(records)
+    explicit = [i == 0 or draw(st.booleans()) for i in range(n_phases)]
+    return make_trace(
+        {f"o{i}": PAGES_PER_OBJECT for i in range(N_OBJECTS)},
+        phases,
+        explicit=explicit,
+        burst=draw(st.integers(1, 8)),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_traces())
+def test_all_policies_sound_on_random_traces(trace):
+    config = baseline_config(
+        # Small counter threshold so counter-mode migrations also happen
+        # on tiny traces.
+        access_counter_threshold=16,
+    )
+    times = {}
+    for name in POLICIES:
+        machine = Machine(config, trace, make_policy(name))
+        result = machine.run()
+        times[name] = result.total_time_ns
+
+        # 1. Access conservation: every access was replayed somewhere.
+        replayed = (
+            result.stats.get("access.local", 0)
+            + result.stats.get("access.remote", 0)
+            + result.stats.get("access.host", 0)
+            + result.page_faults
+        )
+        assert replayed == trace.total_accesses, name
+
+        # 2. Structural page-table invariants.
+        machine.page_tables.check_invariants()
+
+        # 3. TLBs never cache an unmapped translation.
+        for gpu in range(config.n_gpus):
+            tlb = machine.tlbs[gpu]
+            for page in range(trace.first_page,
+                              trace.first_page + trace.n_pages):
+                if tlb.l1.contains(page) or tlb.l2.contains(page):
+                    assert machine.page_tables.is_mapped(gpu, page), (
+                        name, gpu, page
+                    )
+
+        # 4. Non-negative, finite time.
+        assert times[name] >= 0
+
+    # 5. Ideal bounds the policies that, like it, move data on every
+    # first touch.  (Deferral-based policies can legitimately beat it on
+    # ultra-sparse traces: a page accessed once is cheaper to read
+    # remotely than to copy.)
+    if trace.total_records:
+        assert times["ideal"] <= times["on_touch"] * 1.05
+        assert times["ideal"] <= times["duplication"] * 1.05
+
+
+@settings(max_examples=10, deadline=None)
+@given(trace=random_traces())
+def test_oasis_deterministic_on_random_traces(trace):
+    config = baseline_config()
+    a = Machine(config, trace, make_policy("oasis")).run()
+    b = Machine(config, trace, make_policy("oasis")).run()
+    assert a.total_time_ns == b.total_time_ns
+    assert a.stats == b.stats
+    assert a.policy_histogram == b.policy_histogram

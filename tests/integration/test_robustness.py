@@ -1,0 +1,107 @@
+"""Robustness: corrupted inputs and degenerate configurations."""
+
+import numpy as np
+import pytest
+
+from repro import baseline_config, make_policy, simulate
+from repro.sim.machine import Machine
+from repro.workloads.base import PhaseTrace
+from tests.conftest import make_trace
+
+
+class TestCorruptedTraces:
+    def test_record_outside_tracked_range_fails_loudly(self, config):
+        trace = make_trace({"o": 2}, [[(0, "o", 0, False)]])
+        bogus = PhaseTrace(
+            name="bogus", explicit=False,
+            gpu=np.array([0], dtype=np.uint8),
+            page=np.array([trace.first_page + 10_000], dtype=np.int64),
+            write=np.array([0], dtype=np.uint8),
+            weight=np.array([1], dtype=np.int64),
+        )
+        trace.phases.append(bogus)
+        with pytest.raises(IndexError):
+            simulate(config, trace, make_policy("on_touch"))
+
+    def test_gpu_id_out_of_range_fails_loudly(self, config):
+        trace = make_trace({"o": 2}, [[(0, "o", 0, False)]])
+        bogus = PhaseTrace(
+            name="bogus", explicit=False,
+            gpu=np.array([9], dtype=np.uint8),
+            page=np.array([trace.first_page], dtype=np.int64),
+            write=np.array([0], dtype=np.uint8),
+            weight=np.array([1], dtype=np.int64),
+        )
+        trace.phases.append(bogus)
+        with pytest.raises(IndexError):
+            simulate(config, trace, make_policy("on_touch"))
+
+
+class TestDegenerateShapes:
+    def test_empty_phase_runs(self, config):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)], []])
+        result = simulate(config, trace, make_policy("oasis"))
+        assert len(result.phases) == 2
+        assert result.phases[1].duration_ns == 0.0
+
+    def test_trace_with_untouched_objects(self, config):
+        trace = make_trace({"used": 1, "ghost": 64},
+                           [[(0, "used", 0, True)]])
+        result = simulate(config, trace, make_policy("oasis"))
+        assert result.total_faults == 1
+
+    def test_single_gpu_system(self):
+        config = baseline_config(n_gpus=1)
+        trace = make_trace({"o": 4}, [[(0, "o", p, True) for p in range(4)]],
+                           n_gpus=1)
+        for name in ("on_touch", "access_counter", "duplication", "oasis"):
+            result = simulate(config, trace, make_policy(name))
+            assert result.total_time_ns > 0
+            # Nothing is ever shared with one GPU: no duplicate copy is
+            # ever invalidated (duplication's write faults still resolve
+            # through the collapse primitive, but find no copies).
+            assert result.stats.get("collapse.invalidated_copies", 0) == 0
+            assert result.duplications == 0
+
+    def test_sixteen_gpus(self):
+        config = baseline_config(n_gpus=16)
+        records = [(g, "o", g, True) for g in range(16)]
+        trace = make_trace({"o": 16}, [records], n_gpus=16)
+        result = simulate(config, trace, make_policy("oasis"))
+        assert result.page_faults == 16
+
+    def test_weight_one_records(self, config):
+        trace = make_trace({"o": 2}, [[(0, "o", 0, False, 1)] * 5])
+        result = simulate(config, trace, make_policy("oasis"))
+        assert result.page_faults == 1
+        assert result.stats["access.local"] == 4
+
+    def test_tiny_otable(self, config):
+        config = config.replace(otable_entries=1)
+        records = [
+            (g, name, 0, False)
+            for name in ("a", "b", "c")
+            for g in range(2)
+        ]
+        trace = make_trace({"a": 1, "b": 1, "c": 1}, [records])
+        policy = make_policy("oasis")
+        Machine(config, trace, policy).run()
+        assert policy.otable.capacity == 1
+        assert policy.otable.evictions > 0
+
+    def test_extreme_oversubscription(self, config):
+        config = config.replace(oversubscription=8.0)
+        records = [(0, "o", p, True) for p in range(32)] * 2
+        trace = make_trace({"o": 32}, [records])
+        result = simulate(config, trace, make_policy("on_touch"))
+        assert result.evictions > 0
+        assert result.total_time_ns > 0
+
+    def test_reset_threshold_one(self, config):
+        # Threshold 1: every shared fault re-learns; must not crash or
+        # loop, just behave like per-fault learning.
+        config = config.replace(reset_threshold=1)
+        records = [(g, "o", 0, g % 2 == 0) for g in range(4)] * 4
+        trace = make_trace({"o": 1}, [records], burst=1)
+        result = simulate(config, trace, make_policy("oasis"))
+        assert result.total_time_ns > 0

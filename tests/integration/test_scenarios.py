@@ -1,0 +1,158 @@
+"""Scenario tests pinning the paper's qualitative claims on small traces."""
+
+from repro import make_policy
+from repro.sim.machine import Machine, simulate
+from tests.conftest import make_trace, sweep_records
+
+
+class TestObjectLifecycle:
+    def test_freed_object_removed_from_otable(self, config):
+        trace = make_trace({"a": 2, "b": 2}, [
+            sweep_records(range(2), "a", 2, write=False),
+            sweep_records(range(2), "b", 2, write=False),
+        ])
+        trace.objects[0].free_phase = 0  # free "a" after phase 0
+        policy = make_policy("oasis")
+        Machine(config, trace, policy).run()
+        assert 0 not in policy.otable
+        assert policy.tracker.live_objects == 1
+
+    def test_alloc_in_later_phase_registers_then(self, config):
+        trace = make_trace({"a": 2, "b": 2}, [
+            [(0, "a", 0, False)],
+            [(0, "b", 0, False)],
+        ])
+        trace.objects[1].alloc_phase = 1
+        seen = []
+
+        from repro.core import OasisPolicy
+
+        class Spy(OasisPolicy):
+            def on_alloc(self, obj):
+                seen.append((obj.name, len(seen)))
+                super().on_alloc(obj)
+
+        Machine(config, trace, Spy()).run()
+        assert [name for name, _ in seen] == ["a", "b"]
+
+
+class TestPhaseChangeAdaptation:
+    """The C2D story: producer/consumer handoff across explicit phases.
+
+    OASIS re-learns each object once per phase; GRIT needs four faults
+    per page, so on phase-heavy handoff patterns OASIS services far
+    fewer learning faults (the Fig. 24 effect)."""
+
+    def _handoff_trace(self, n_cycles=6, pages=24):
+        phases = []
+        for cycle in range(n_cycles):
+            write_phase = [
+                (g, "buf", (g * pages // 4) + p, True, 48)
+                for g in range(4) for p in range(pages // 4)
+            ]
+            read_phase = [
+                ((g + 1) % 4, "buf", (g * pages // 4) + p, False, 96)
+                for g in range(4) for p in range(pages // 4)
+            ]
+            phases.extend([write_phase, read_phase])
+        return make_trace({"buf": pages}, phases,
+                          explicit=[True] * (2 * n_cycles))
+
+    def test_oasis_competitive_with_grit_on_handoff(self, config):
+        trace = self._handoff_trace()
+        oasis = simulate(config, trace, make_policy("oasis"))
+        grit = simulate(config, trace, make_policy("grit"))
+        assert oasis.total_time_ns <= grit.total_time_ns * 1.05
+
+    def test_oasis_relearns_per_phase_not_per_page(self, config):
+        """GRIT needs four faults per *page* to change a policy; OASIS
+        resolves each phase change with one O-Table decision."""
+        trace = self._handoff_trace()
+        policy = make_policy("oasis")
+        Machine(config, trace, policy).run()
+        # One learning decision per (re)learned phase, not per page:
+        # far fewer decisions than pages x phases.
+        pages = trace.objects[0].n_pages
+        n_phases = len(trace.phases)
+        assert policy.controller.decisions < pages * n_phases / 4
+
+
+class TestStateDiagramEndToEnd:
+    """Fig. 13(b) transitions driven through real simulation."""
+
+    def test_read_only_object_settles_on_duplication(self, config):
+        phases = [
+            sweep_records(range(4), "o", 4, write=False, weight=8)
+            for _ in range(4)
+        ]
+        trace = make_trace({"o": 4}, phases,
+                           explicit=[True, False, False, False])
+        policy = make_policy("oasis")
+        machine = Machine(config, trace, policy)
+        machine.run()
+        from repro.core.otable import OTABLE_POLICY_DUPLICATION
+        assert policy.otable.lookup(0).policy == OTABLE_POLICY_DUPLICATION
+
+    def test_write_object_settles_on_counter(self, config):
+        phases = [
+            sweep_records(range(4), "o", 4, write=True, weight=8)
+            for _ in range(4)
+        ]
+        trace = make_trace({"o": 4}, phases,
+                           explicit=[True, False, False, False])
+        policy = make_policy("oasis")
+        Machine(config, trace, policy).run()
+        from repro.core.otable import OTABLE_POLICY_COUNTER
+        assert policy.otable.lookup(0).policy == OTABLE_POLICY_COUNTER
+
+    def test_read_to_write_transition_flips_policy(self, config):
+        reads = sweep_records(range(4), "o", 4, write=False, weight=8)
+        writes = sweep_records(range(4), "o", 4, write=True, weight=8)
+        trace = make_trace(
+            {"o": 4},
+            [reads, writes, writes],
+            explicit=[True, True, False],
+        )
+        policy = make_policy("oasis")
+        Machine(config, trace, policy).run()
+        from repro.core.otable import (
+            OTABLE_POLICY_COUNTER,
+            OTABLE_POLICY_DUPLICATION,
+        )
+        key = (OTABLE_POLICY_DUPLICATION, OTABLE_POLICY_COUNTER)
+        assert policy.controller.transitions.get(key, 0) >= 1
+
+
+class TestInterleavingMatters:
+    def test_finer_interleaving_increases_on_touch_ping_pong(self, config):
+        def trace_with_burst(burst):
+            records = []
+            for _sweep in range(4):
+                records += sweep_records(range(4), "o", 8, write=True,
+                                         weight=4)
+            return make_trace({"o": 8}, [records], burst=burst)
+
+        fine = simulate(config, trace_with_burst(1), make_policy("on_touch"))
+        coarse = simulate(config, trace_with_burst(64),
+                          make_policy("on_touch"))
+        assert fine.migrations >= coarse.migrations
+
+
+class TestStaticAdviseVsOasisScenario:
+    def test_oasis_beats_static_hints_on_phase_changing_object(self, config):
+        """The Related Work argument, end to end: a buffer that is
+        heavily read-shared in one phase and rewritten in the next is
+        rw-mix to static analysis (no advice), while OASIS re-learns
+        duplication for every read phase."""
+        reads = []
+        for _sweep in range(3):
+            reads += sweep_records(range(4), "buf", 8, write=False,
+                                   weight=64)
+        writes = [(g, "buf", g * 2 + p, True, 16)
+                  for g in range(4) for p in range(2)]
+        trace = make_trace({"buf": 8}, [reads, writes, reads],
+                           explicit=[True, True, True])
+        advise = simulate(config, trace, make_policy("static_advise"))
+        oasis = simulate(config, trace, make_policy("oasis"))
+        assert oasis.total_time_ns < advise.total_time_ns
+        assert oasis.duplications > 0

@@ -1,0 +1,105 @@
+"""Virtual allocator and physical address-range tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import HOST
+from repro.memory import DeviceAddressMap, VirtualAllocator
+
+
+class TestVirtualAllocator:
+    def test_allocations_are_page_aligned(self):
+        alloc = VirtualAllocator(4096)
+        a = alloc.alloc(5000)
+        assert a.base % 4096 == 0
+        assert a.n_pages == 2
+
+    def test_sequential_allocations_disjoint(self):
+        alloc = VirtualAllocator(4096)
+        a = alloc.alloc(4096 * 3)
+        b = alloc.alloc(100)
+        assert a.end <= b.base
+
+    def test_find_locates_containing_allocation(self):
+        alloc = VirtualAllocator(4096)
+        a = alloc.alloc(4096 * 2)
+        b = alloc.alloc(4096)
+        assert alloc.find(a.base + 4097) is a
+        assert alloc.find(b.base) is b
+        assert alloc.find(b.end) is None
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualAllocator(4096).alloc(0)
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualAllocator(3000)
+
+    def test_total_pages(self):
+        alloc = VirtualAllocator(4096)
+        alloc.alloc(4096)
+        alloc.alloc(4096 * 2)
+        assert alloc.total_pages == 3
+
+    def test_allocation_page_range(self):
+        alloc = VirtualAllocator(4096)
+        a = alloc.alloc(4096 * 4)
+        pages = list(a.pages())
+        assert len(pages) == 4
+        assert pages[0] == a.first_page
+        assert pages[-1] == a.last_page
+
+    def test_exhaustion_raises(self):
+        alloc = VirtualAllocator(4096)
+        with pytest.raises(MemoryError):
+            alloc.alloc(1 << 48)
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=10**7),
+                          min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        alloc = VirtualAllocator(4096)
+        allocations = [alloc.alloc(s) for s in sizes]
+        for first, second in zip(allocations, allocations[1:]):
+            assert first.end <= second.base
+        # find() agrees with containment for every base address.
+        for a in allocations:
+            assert alloc.find(a.base) is a
+
+
+class TestDeviceAddressMap:
+    def test_ranges_disjoint_and_invertible(self):
+        m = DeviceAddressMap(n_gpus=4, bytes_per_device=1 << 20)
+        seen = set()
+        for dev in (HOST, 0, 1, 2, 3):
+            base = m.range_base(dev)
+            assert base not in seen
+            seen.add(base)
+            assert m.device_of(base) == dev
+            assert m.device_of(base + (1 << 20) - 1) == dev
+
+    def test_is_host(self):
+        m = DeviceAddressMap(n_gpus=2, bytes_per_device=4096)
+        assert m.is_host(m.range_base(HOST))
+        assert not m.is_host(m.range_base(1))
+
+    def test_physical_address_offset(self):
+        m = DeviceAddressMap(n_gpus=1, bytes_per_device=4096)
+        pa = m.physical_address(0, 100)
+        assert m.device_of(pa) == 0
+
+    def test_offset_out_of_range(self):
+        m = DeviceAddressMap(n_gpus=1, bytes_per_device=4096)
+        with pytest.raises(ValueError):
+            m.physical_address(0, 4096)
+
+    def test_unknown_device_rejected(self):
+        m = DeviceAddressMap(n_gpus=2, bytes_per_device=4096)
+        with pytest.raises(ValueError):
+            m.range_base(5)
+
+    def test_address_beyond_all_ranges_rejected(self):
+        m = DeviceAddressMap(n_gpus=1, bytes_per_device=4096)
+        with pytest.raises(ValueError):
+            m.device_of(4096 * 2)

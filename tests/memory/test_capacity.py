@@ -1,0 +1,134 @@
+"""CapacityManager (oversubscription LRU) tests."""
+
+import pytest
+
+from repro.memory import CapacityManager
+
+
+class TestCapacityManager:
+    def test_disabled_when_capacity_none(self):
+        c = CapacityManager(2, None)
+        assert not c.enabled
+        c.note_resident(0, 1)
+        assert not c.needs_eviction(0)
+
+    def test_needs_eviction_above_capacity(self):
+        c = CapacityManager(1, 2)
+        c.note_resident(0, 1)
+        c.note_resident(0, 2)
+        assert not c.needs_eviction(0)
+        c.note_resident(0, 3)
+        assert c.needs_eviction(0)
+
+    def test_victim_is_lru(self):
+        c = CapacityManager(1, 2)
+        for page in (10, 11, 12):
+            c.note_resident(0, page)
+        assert c.pick_victim(0) == 10
+
+    def test_access_refreshes_recency(self):
+        c = CapacityManager(1, 2)
+        c.note_resident(0, 1)
+        c.note_resident(0, 2)
+        c.note_access(0, 1)
+        assert c.pick_victim(0) == 2
+
+    def test_access_to_absent_page_is_noop(self):
+        c = CapacityManager(1, 2)
+        c.note_access(0, 99)
+        assert c.resident_count(0) == 0
+
+    def test_protect_skips_page(self):
+        c = CapacityManager(1, 1)
+        c.note_resident(0, 1)
+        c.note_resident(0, 2)
+        assert c.pick_victim(0, protect=1) == 2
+
+    def test_no_victim_raises(self):
+        c = CapacityManager(1, 1)
+        c.note_resident(0, 7)
+        with pytest.raises(LookupError):
+            c.pick_victim(0, protect=7)
+
+    def test_note_released(self):
+        c = CapacityManager(1, 4)
+        c.note_resident(0, 1)
+        c.note_released(0, 1)
+        assert c.resident_count(0) == 0
+        assert not c.is_resident(0, 1)
+
+    def test_per_gpu_isolation(self):
+        c = CapacityManager(2, 1)
+        c.note_resident(0, 1)
+        c.note_resident(1, 2)
+        assert c.resident_count(0) == 1
+        assert c.resident_count(1) == 1
+
+    def test_re_residence_moves_to_mru(self):
+        c = CapacityManager(1, 8)
+        c.note_resident(0, 1)
+        c.note_resident(0, 2)
+        c.note_resident(0, 1)
+        assert c.pick_victim(0) == 2
+
+    def test_reset(self):
+        c = CapacityManager(1, 4)
+        c.note_resident(0, 1)
+        c.reset()
+        assert c.resident_count(0) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CapacityManager(1, 0)
+
+
+class ReferenceLRU:
+    """Brute-force LRU residency model."""
+
+    def __init__(self):
+        self.order = []
+
+    def resident(self, page):
+        if page in self.order:
+            self.order.remove(page)
+        self.order.append(page)
+
+    def access(self, page):
+        if page in self.order:
+            self.order.remove(page)
+            self.order.append(page)
+
+    def release(self, page):
+        if page in self.order:
+            self.order.remove(page)
+
+
+class TestAgainstReferenceLRU:
+    def test_random_op_sequences_match(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(ops=st.lists(
+            st.tuples(st.sampled_from(["resident", "access", "release"]),
+                      st.integers(0, 9)),
+            max_size=60,
+        ))
+        def run(ops):
+            manager = CapacityManager(1, 100)
+            reference = ReferenceLRU()
+            for op, page in ops:
+                if op == "resident":
+                    manager.note_resident(0, page)
+                    reference.resident(page)
+                elif op == "access":
+                    manager.note_access(0, page)
+                    reference.access(page)
+                else:
+                    manager.note_released(0, page)
+                    reference.release(page)
+                assert manager.resident_count(0) == len(reference.order)
+                if reference.order:
+                    assert manager.pick_victim(0) == reference.order[0]
+
+        run()

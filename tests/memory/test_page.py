@@ -1,0 +1,75 @@
+"""PTE policy-bit encoding tests (Fig. 12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import (
+    POLICY_COUNTER,
+    POLICY_DUPLICATION,
+    POLICY_ON_TOUCH,
+    AccessType,
+    policy_name,
+)
+from repro.memory.page import pte_decode, pte_encode
+
+
+class TestPolicyBits:
+    def test_encoding_values_match_paper(self):
+        # Section V-C: "00" on-touch, "01" counter, "11" duplication.
+        assert POLICY_ON_TOUCH == 0b00
+        assert POLICY_COUNTER == 0b01
+        assert POLICY_DUPLICATION == 0b11
+
+    def test_policy_names(self):
+        assert policy_name(POLICY_ON_TOUCH) == "on_touch"
+        assert policy_name(POLICY_COUNTER) == "access_counter"
+        assert policy_name(POLICY_DUPLICATION) == "duplication"
+
+    def test_reserved_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            policy_name(0b10)
+
+
+class TestAccessType:
+    def test_write_flag(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+
+
+class TestPTEWord:
+    def test_policy_bits_live_in_bits_10_9(self):
+        word = pte_encode(pfn=0, policy_bits=POLICY_DUPLICATION, valid=True,
+                          writable=False)
+        assert (word >> 9) & 0b11 == POLICY_DUPLICATION
+
+    def test_pfn_lives_in_bits_51_12(self):
+        word = pte_encode(pfn=0x123456, policy_bits=0, valid=True,
+                          writable=True)
+        assert (word >> 12) & ((1 << 40) - 1) == 0x123456
+
+    def test_roundtrip(self):
+        word = pte_encode(pfn=99, policy_bits=POLICY_COUNTER, valid=True,
+                          writable=True)
+        assert pte_decode(word) == (99, POLICY_COUNTER, True, True)
+
+    def test_pfn_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pte_encode(pfn=1 << 40, policy_bits=0, valid=True, writable=False)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            pte_encode(pfn=0, policy_bits=0b10, valid=True, writable=False)
+
+    @given(
+        pfn=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        policy=st.sampled_from(
+            [POLICY_ON_TOUCH, POLICY_COUNTER, POLICY_DUPLICATION]
+        ),
+        valid=st.booleans(),
+        writable=st.booleans(),
+    )
+    def test_roundtrip_property(self, pfn, policy, valid, writable):
+        word = pte_encode(pfn, policy, valid, writable)
+        assert pte_decode(word) == (pfn, policy, valid, writable)
+        assert word < (1 << 64)

@@ -1,0 +1,195 @@
+"""PageTables state-machine tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HOST
+from repro.memory import PageTables, POLICY_COUNTER, POLICY_ON_TOUCH
+
+
+@pytest.fixture
+def pt():
+    return PageTables(n_pages=8, n_gpus=4)
+
+
+class TestInitialPlacement:
+    def test_host_placement(self):
+        pt = PageTables(4, 2, initial_placement="host")
+        assert all(pt.location(p) == HOST for p in range(4))
+        assert all(not pt.copy_holders(p) for p in range(4))
+
+    def test_distributed_placement_round_robin(self):
+        pt = PageTables(4, 2, initial_placement="distributed")
+        assert [pt.location(p) for p in range(4)] == [0, 1, 0, 1]
+        for p in range(4):
+            assert pt.copy_holders(p) == [pt.location(p)]
+
+    def test_distributed_respects_first_page(self):
+        pt = PageTables(4, 4, initial_placement="distributed", first_page=2)
+        assert pt.location(2) == 2 % 4
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            PageTables(1, 1, initial_placement="banana")
+
+
+class TestMappings:
+    def test_map_local_requires_copy(self, pt):
+        with pytest.raises(ValueError):
+            pt.map_local(0, 0, writable=True)
+
+    def test_exclusive_then_map_local(self, pt):
+        pt.set_exclusive(0, 1)
+        pt.map_local(1, 0, writable=True)
+        assert pt.is_mapped(1, 0)
+        assert pt.is_writable(1, 0)
+        assert pt.location(0) == 1
+
+    def test_map_remote_rejected_for_local_holder(self, pt):
+        pt.set_exclusive(0, 1)
+        with pytest.raises(ValueError):
+            pt.map_remote(1, 0)
+
+    def test_map_remote_is_read_write_capable_but_not_writable_flag(self, pt):
+        pt.set_exclusive(0, 1)
+        pt.map_remote(2, 0)
+        assert pt.is_mapped(2, 0)
+        assert not pt.is_writable(2, 0)
+        assert not pt.has_copy(2, 0)
+
+    def test_unmap_returns_whether_mapped(self, pt):
+        pt.set_exclusive(0, 0)
+        pt.map_local(0, 0, writable=True)
+        assert pt.unmap(0, 0)
+        assert not pt.unmap(0, 0)
+        assert not pt.is_writable(0, 0)
+
+    def test_unmap_all_except_returns_victims(self, pt):
+        pt.set_exclusive(3, 0)
+        pt.map_local(0, 3, writable=False)
+        pt.map_remote(1, 3)
+        pt.map_remote(2, 3)
+        victims = pt.unmap_all_except(3, keep=0)
+        assert sorted(victims) == [1, 2]
+        assert pt.is_mapped(0, 3)
+        assert not pt.is_mapped(1, 3)
+
+    def test_unmap_all(self, pt):
+        pt.set_exclusive(0, 2)
+        pt.map_local(2, 0, writable=True)
+        victims = pt.unmap_all_except(0, keep=None)
+        assert victims == [2]
+        assert pt.mapped_gpus(0) == []
+
+    def test_page_outside_range_rejected(self, pt):
+        with pytest.raises(IndexError):
+            pt.location(100)
+
+
+class TestDuplication:
+    def test_add_copy_clears_writers(self, pt):
+        pt.set_exclusive(0, 0)
+        pt.map_local(0, 0, writable=True)
+        pt.add_copy(1, 0)
+        assert not pt.is_writable(0, 0)
+        assert pt.is_duplicated(0)
+        assert sorted(pt.copy_holders(0)) == [0, 1]
+
+    def test_host_owner_plus_gpu_copy_is_duplicated(self, pt):
+        pt.add_copy(2, 5)
+        assert pt.location(5) == HOST
+        assert pt.is_duplicated(5)
+
+    def test_single_gpu_owner_not_duplicated(self, pt):
+        pt.set_exclusive(0, 1)
+        assert not pt.is_duplicated(0)
+
+    def test_drop_copy(self, pt):
+        pt.set_exclusive(0, 0)
+        pt.add_copy(1, 0)
+        pt.drop_copy(1, 0)
+        assert pt.copy_holders(0) == [0]
+
+    def test_drop_owner_copy_rejected(self, pt):
+        pt.set_exclusive(0, 0)
+        with pytest.raises(ValueError):
+            pt.drop_copy(0, 0)
+
+    def test_set_exclusive_drops_other_copies(self, pt):
+        pt.add_copy(0, 0)
+        pt.add_copy(1, 0)
+        pt.set_exclusive(0, 2)
+        assert pt.copy_holders(0) == [2]
+
+
+class TestPolicyBits:
+    def test_default_on_touch(self, pt):
+        assert pt.policy(0) == POLICY_ON_TOUCH
+
+    def test_set_policy(self, pt):
+        pt.set_policy(3, POLICY_COUNTER)
+        assert pt.policy(3) == POLICY_COUNTER
+
+    def test_set_policy_range(self, pt):
+        pt.set_policy_range(2, 3, POLICY_COUNTER)
+        assert [pt.policy(p) for p in range(8)] == [
+            0, 0, 1, 1, 1, 0, 0, 0
+        ]
+
+    def test_policy_range_overflow_rejected(self, pt):
+        with pytest.raises(IndexError):
+            pt.set_policy_range(6, 5, POLICY_COUNTER)
+
+    def test_policy_histogram(self, pt):
+        pt.set_policy_range(0, 4, POLICY_COUNTER)
+        assert pt.policy_histogram() == {POLICY_COUNTER: 4, POLICY_ON_TOUCH: 4}
+
+
+class TestIncoherentMode:
+    def test_multiple_writers_allowed(self):
+        pt = PageTables(2, 2, coherent=False)
+        pt.add_copy(0, 0)
+        pt.map_local(0, 0, writable=True)
+        pt.add_copy(1, 0)
+        pt.map_local(1, 0, writable=True)
+        assert pt.is_writable(0, 0)
+        assert pt.is_writable(1, 0)
+        pt.check_invariants()
+
+
+@st.composite
+def pt_operations(draw):
+    """Random but structurally valid operation sequences."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        kind = draw(st.sampled_from(
+            ["migrate", "duplicate", "collapse", "unmap", "remote"]
+        ))
+        ops.append((kind, draw(st.integers(0, 3)), draw(st.integers(0, 5))))
+    return ops
+
+
+class TestInvariantsUnderRandomOps:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=pt_operations())
+    def test_invariants_hold(self, ops):
+        pt = PageTables(n_pages=6, n_gpus=4)
+        for kind, gpu, page in ops:
+            if kind == "migrate":
+                pt.unmap_all_except(page, keep=None)
+                pt.set_exclusive(page, gpu)
+                pt.map_local(gpu, page, writable=True)
+            elif kind == "duplicate":
+                pt.add_copy(gpu, page)
+                pt.map_local(gpu, page, writable=False)
+            elif kind == "collapse":
+                pt.unmap_all_except(page, keep=gpu)
+                pt.set_exclusive(page, gpu)
+                pt.map_local(gpu, page, writable=True)
+            elif kind == "unmap":
+                pt.unmap(gpu, page)
+            elif kind == "remote":
+                if not pt.has_copy(gpu, page):
+                    pt.map_remote(gpu, page)
+            pt.check_invariants()

@@ -1,0 +1,70 @@
+"""Access-counter policy behaviour."""
+
+from repro.config import HOST
+from repro.policies import AccessCounterPolicy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run(trace, config):
+    machine = Machine(config, trace, AccessCounterPolicy())
+    return machine, machine.run()
+
+
+class TestAccessCounter:
+    def test_faults_map_remote_not_migrate(self, config):
+        trace = make_trace({"obj": 2}, [[(0, "obj", 0, False, 4)]])
+        machine, result = run(trace, config)
+        # Data deferred on host: no migration until the threshold.
+        assert result.migrations == 0
+        assert result.stats["remote_map.count"] == 1
+        assert machine.page_tables.location(trace.first_page) == HOST
+        assert result.stats["access.host"] > 0
+
+    def test_threshold_triggers_group_migration(self, config):
+        config = config.replace(access_counter_threshold=16)
+        records = [(0, "obj", p, False, 8) for p in range(4)] * 2
+        trace = make_trace({"obj": 4}, [records])
+        machine, result = run(trace, config)
+        assert result.stats["migration.counter_triggered"] > 0
+        assert machine.page_tables.location(trace.first_page) == 0
+
+    def test_below_threshold_never_migrates(self, config):
+        config = config.replace(access_counter_threshold=1000)
+        records = sweep_records(range(4), "obj", 2, write=False, weight=4)
+        trace = make_trace({"obj": 2}, [records])
+        machine, result = run(trace, config)
+        assert result.migrations == 0
+        assert machine.page_tables.location(trace.first_page) == HOST
+
+    def test_no_ping_pong_under_write_sharing(self, config):
+        config = config.replace(access_counter_threshold=10_000)
+        records = []
+        for _ in range(5):
+            records.append((0, "obj", 0, True, 2))
+            records.append((1, "obj", 0, True, 2))
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        _, result = run(trace, config)
+        assert result.migrations == 0  # writes go remote, no bouncing
+
+    def test_group_migration_migrates_cohort_pages(self, config):
+        config = config.replace(access_counter_threshold=8)
+        # Touch only page 0 heavily; pages 1-3 (same 64 KB group, also
+        # host-resident) ride along on the group migration.
+        records = [(1, "obj", 0, True, 64)] * 2
+        trace = make_trace({"obj": 4}, [records])
+        machine, result = run(trace, config)
+        first = trace.first_page
+        assert machine.page_tables.location(first) == 1
+        assert result.stats["migration.counter_triggered"] >= 1
+
+    def test_remap_after_invalidation(self, config):
+        config = config.replace(access_counter_threshold=8)
+        records = [
+            (0, "obj", 0, True, 16),   # gpu0 counts up and migrates
+            (1, "obj", 0, False, 4),   # gpu1 remote-maps to gpu0's copy
+        ]
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        machine, result = run(trace, config)
+        assert machine.page_tables.is_mapped(1, trace.first_page)
+        assert not machine.page_tables.has_copy(1, trace.first_page)

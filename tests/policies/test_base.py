@@ -1,0 +1,37 @@
+"""PolicyEngine base-class contract tests."""
+
+import pytest
+
+from repro.policies import OnTouchPolicy, PolicyEngine
+from repro.sim.machine import Machine
+from tests.conftest import make_trace
+
+
+class TestBaseContract:
+    def test_abstract_on_fault(self):
+        with pytest.raises(TypeError):
+            PolicyEngine()
+
+    def test_default_protection_fault_raises(self, config):
+        trace = make_trace({"obj": 1}, [[(0, "obj", 0, False)]])
+        policy = OnTouchPolicy()
+        Machine(config, trace, policy)
+        with pytest.raises(RuntimeError):
+            policy.on_protection_fault(0, trace.first_page)
+
+    def test_default_remote_access_raises(self, config):
+        trace = make_trace({"obj": 1}, [[(0, "obj", 0, False)]])
+        policy = OnTouchPolicy()
+        Machine(config, trace, policy)
+        with pytest.raises(RuntimeError):
+            policy.on_remote_access(0, trace.first_page, False, 1)
+
+    def test_attach_exposes_components(self, config):
+        trace = make_trace({"obj": 1}, [[(0, "obj", 0, False)]])
+        policy = OnTouchPolicy()
+        machine = Machine(config, trace, policy)
+        assert policy.machine is machine
+        assert policy.driver is machine.driver
+        assert policy.page_tables is machine.page_tables
+        assert policy.config is machine.config
+        assert policy.stats is machine.stats

@@ -1,0 +1,66 @@
+"""Duplication policy behaviour."""
+
+from repro.config import HOST
+from repro.policies import DuplicationPolicy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run(trace, config):
+    machine = Machine(config, trace, DuplicationPolicy())
+    return machine, machine.run()
+
+
+class TestDuplication:
+    def test_read_faults_duplicate(self, config):
+        records = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        trace = make_trace({"ro": 2}, [records])
+        machine, result = run(trace, config)
+        first = trace.first_page
+        assert result.duplications == 8  # 2 pages x 4 GPUs
+        assert sorted(machine.page_tables.copy_holders(first)) == [0, 1, 2, 3]
+        assert machine.page_tables.location(first) == HOST
+
+    def test_all_reads_local_after_duplication(self, config):
+        records = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        trace = make_trace({"ro": 2}, [records, records],
+                           explicit=[True, False])
+        _, result = run(trace, config)
+        assert result.stats.get("access.remote", 0) == 0
+        assert result.stats.get("access.host", 0) == 0
+
+    def test_write_to_duplicated_page_raises_protection_fault(self, config):
+        reads = sweep_records(range(4), "obj", 1, write=False, weight=2)
+        writes = [(0, "obj", 0, True, 2)]
+        trace = make_trace({"obj": 1}, [reads, writes],
+                           explicit=[True, False])
+        machine, result = run(trace, config)
+        assert result.protection_faults == 1
+        assert result.collapses == 1
+        assert machine.page_tables.copy_holders(trace.first_page) == [0]
+        assert machine.page_tables.is_writable(0, trace.first_page)
+
+    def test_write_fault_on_fresh_page_collapses_immediately(self, config):
+        trace = make_trace({"obj": 1}, [[(2, "obj", 0, True, 2)]])
+        machine, result = run(trace, config)
+        assert result.collapses == 1
+        assert result.protection_faults == 0
+        assert machine.page_tables.location(trace.first_page) == 2
+
+    def test_private_rw_page_pays_double_fault(self, config):
+        """The paper's point about duplication on private rw-mix data:
+        read-then-write costs a duplication fault plus a protection
+        fault where on-touch pays a single migration."""
+        records = [(0, "obj", 0, False, 2), (0, "obj", 0, True, 2)]
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        _, result = run(trace, config)
+        assert result.total_faults == 2
+        assert result.protection_faults == 1
+
+    def test_collapse_then_reread_duplicates_again(self, config):
+        reads = sweep_records(range(2), "obj", 1, write=False, weight=2)
+        writes = [(0, "obj", 0, True, 2)]
+        trace = make_trace({"obj": 1}, [reads, writes, reads],
+                           explicit=[True, False, False])
+        _, result = run(trace, config)
+        assert result.duplications >= 3

@@ -1,0 +1,131 @@
+"""GRIT comparator behaviour."""
+
+import pytest
+
+from repro.memory import POLICY_COUNTER, POLICY_DUPLICATION, POLICY_ON_TOUCH
+from repro.policies import GritPolicy
+from repro.policies.grit import (
+    METADATA_BITS_PER_PAGE,
+    PA_CACHE_BYTES,
+    PACache,
+    PageMeta,
+)
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run(trace, config, **kwargs):
+    policy = GritPolicy(**kwargs)
+    machine = Machine(config, trace, policy)
+    return machine, policy, machine.run()
+
+
+class TestPACache:
+    def test_capacity_derives_from_352_bytes(self):
+        assert PACache().capacity == PA_CACHE_BYTES * 8 // METADATA_BITS_PER_PAGE
+
+    def test_hit_miss(self):
+        cache = PACache(entries=2)
+        assert not cache.access(1)
+        assert cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 1 (LRU)
+        assert not cache.access(1)
+
+    def test_lru_refresh(self):
+        cache = PACache(entries=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # refresh
+        cache.access(3)  # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+
+class TestPageMeta:
+    def test_observe_accumulates(self):
+        meta = PageMeta()
+        meta.observe(0, is_write=False)
+        meta.observe(2, is_write=True)
+        assert meta.fault_count == 2
+        assert meta.read_seen and meta.write_seen
+        assert meta.sharer_mask == 0b101
+
+    def test_reset_window(self):
+        meta = PageMeta()
+        meta.observe(0, True)
+        meta.reset_window()
+        assert meta.fault_count == 0
+        assert not meta.write_seen
+
+
+class TestGritLearning:
+    def test_four_faults_required_per_page(self, config):
+        """Fault-Aware Initiator: a page's policy changes only after 4
+        shared faults (Section VI-C)."""
+        # Two GPUs bounce one page: each bounce is a shared fault.
+        records = []
+        for _ in range(3):
+            records.append((0, "obj", 0, False, 2))
+            records.append((1, "obj", 0, False, 2))
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        machine, policy, _ = run(trace, config, neighbor_window=0)
+        # 5 shared faults (after gpu0's first private touch): decided once.
+        assert machine.page_tables.policy(trace.first_page) == POLICY_DUPLICATION
+
+    def test_fewer_than_four_faults_stays_on_touch(self, config):
+        records = [(0, "obj", 0, False, 2), (1, "obj", 0, False, 2),
+                   (0, "obj", 0, False, 2)]
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        machine, _, _ = run(trace, config, neighbor_window=0)
+        # Only 2 shared faults seen: still default on-touch.
+        assert machine.page_tables.policy(trace.first_page) == POLICY_ON_TOUCH
+
+    def test_write_history_selects_counter(self, config):
+        records = []
+        for _ in range(4):
+            records.append((0, "obj", 0, True, 2))
+            records.append((1, "obj", 0, True, 2))
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        machine, _, _ = run(trace, config, neighbor_window=0)
+        assert machine.page_tables.policy(trace.first_page) == POLICY_COUNTER
+
+    def test_neighbor_prediction_stamps_following_pages(self, config):
+        records = []
+        for _ in range(4):
+            records.append((0, "obj", 0, False, 2))
+            records.append((1, "obj", 0, False, 2))
+        trace = make_trace({"obj": 8}, [records], burst=1)
+        machine, policy, _ = run(trace, config, neighbor_window=4)
+        first = trace.first_page
+        assert policy.predictions == 4
+        for offset in range(1, 5):
+            assert machine.page_tables.policy(first + offset) == POLICY_DUPLICATION
+        assert machine.page_tables.policy(first + 5) == POLICY_ON_TOUCH
+
+    def test_prediction_stops_at_trace_boundary(self, config):
+        records = []
+        for _ in range(4):
+            records.append((0, "obj", 1, False, 2))
+            records.append((1, "obj", 1, False, 2))
+        trace = make_trace({"obj": 2}, [records], burst=1)
+        _, policy, _ = run(trace, config, neighbor_window=8)
+        assert policy.predictions == 0  # page 1 is the last page
+
+    def test_metadata_footprint_counts_touched_pages(self, config):
+        records = sweep_records(range(2), "obj", 4, write=False)
+        trace = make_trace({"obj": 4}, [records])
+        _, policy, _ = run(trace, config)
+        assert policy.metadata_bytes == len(policy._meta) * 6
+
+    def test_pa_cache_misses_counted(self, config):
+        records = sweep_records(range(2), "obj", 4, write=True, weight=2)
+        trace = make_trace({"obj": 4}, [records])
+        _, _, result = run(trace, config)
+        assert result.stats["grit.pa_cache_miss"] >= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GritPolicy(faults_per_decision=0)
+        with pytest.raises(ValueError):
+            GritPolicy(neighbor_window=-1)

@@ -1,0 +1,68 @@
+"""GRIT re-decision behaviour: policies adapt when patterns change."""
+
+from repro.memory import POLICY_COUNTER, POLICY_DUPLICATION
+from repro.policies import GritPolicy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace
+
+
+def bounce(name, page, n, write, weight=2):
+    records = []
+    for _ in range(n):
+        records.append((0, name, page, write, weight))
+        records.append((1, name, page, write, weight))
+    return records
+
+
+class TestGritRedecision:
+    def test_dup_page_flips_to_counter_after_writes(self, config):
+        # Phase 0: read bouncing decides duplication.
+        # Phase 1: write storms re-decide to counter after 4 more faults.
+        trace = make_trace(
+            {"o": 1},
+            [bounce("o", 0, 4, write=False),
+             bounce("o", 0, 6, write=True)],
+            explicit=[True, True],
+            burst=1,
+        )
+        policy = GritPolicy(neighbor_window=0)
+        machine = Machine(config, trace, policy)
+        machine.run()
+        assert machine.page_tables.policy(trace.first_page) == POLICY_COUNTER
+        assert machine.stats["grit.policy_changes"] >= 2
+
+    def test_counter_page_can_return_to_duplication(self, config):
+        config = config.replace(access_counter_threshold=4)
+        trace = make_trace(
+            {"o": 1},
+            [bounce("o", 0, 4, write=True),
+             # Counter-triggered migrations invalidate the peer's mapping,
+             # so read re-faults accumulate a fresh read-only window.
+             bounce("o", 0, 8, write=False, weight=8)],
+            explicit=[True, True],
+            burst=1,
+        )
+        policy = GritPolicy(neighbor_window=0)
+        machine = Machine(config, trace, policy)
+        machine.run()
+        assert machine.page_tables.policy(trace.first_page) in (
+            POLICY_DUPLICATION, POLICY_COUNTER
+        )
+        # The observation windows kept accumulating after the first
+        # decision (metadata persists across phases).
+        assert policy.meta_for(trace.first_page) is not None
+
+    def test_grit_metadata_persists_across_phases(self, config):
+        """Unlike OASIS, GRIT never resets at kernel launches — its
+        learned per-page policies carry over."""
+        trace = make_trace(
+            {"o": 1},
+            [bounce("o", 0, 4, write=False), bounce("o", 0, 1, write=False)],
+            explicit=[True, True],
+            burst=1,
+        )
+        policy = GritPolicy(neighbor_window=0)
+        machine = Machine(config, trace, policy)
+        machine.run()
+        # Policy learned in phase 0 still applied in phase 1.
+        assert machine.page_tables.policy(trace.first_page) == POLICY_DUPLICATION

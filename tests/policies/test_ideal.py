@@ -1,0 +1,53 @@
+"""Ideal policy behaviour (the hypothetical bound of Section IV-A)."""
+
+from repro.policies import IdealPolicy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run(trace, config):
+    machine = Machine(config, trace, IdealPolicy())
+    return machine, machine.run()
+
+
+class TestIdeal:
+    def test_one_fault_per_gpu_page_pair(self, config):
+        records = sweep_records(range(4), "obj", 2, write=False, weight=2)
+        trace = make_trace({"obj": 2}, [records, records],
+                           explicit=[True, False])
+        _, result = run(trace, config)
+        assert result.page_faults == 8  # 4 GPUs x 2 pages, once ever
+
+    def test_writes_never_collapse(self, config):
+        reads = sweep_records(range(4), "obj", 1, write=False, weight=2)
+        writes = sweep_records(range(4), "obj", 1, write=True, weight=2)
+        trace = make_trace({"obj": 1}, [reads, writes],
+                           explicit=[True, False])
+        machine, result = run(trace, config)
+        assert result.collapses == 0
+        assert result.protection_faults == 0
+        # All four GPUs keep writable copies simultaneously.
+        pt = machine.page_tables
+        assert all(pt.is_writable(g, trace.first_page) for g in range(4))
+
+    def test_all_accesses_local_after_first(self, config):
+        records = sweep_records(range(4), "obj", 2, write=True, weight=8)
+        trace = make_trace({"obj": 2}, [records, records],
+                           explicit=[True, False])
+        _, result = run(trace, config)
+        assert result.stats.get("access.remote", 0) == 0
+
+    def test_ideal_is_lower_bound_among_policies(self, config):
+        from repro import make_policy
+
+        mixed = (
+            sweep_records(range(4), "obj", 4, write=False, weight=8)
+            + sweep_records(range(4), "obj", 4, write=True, weight=8)
+        )
+        trace = make_trace({"obj": 4}, [mixed])
+        times = {}
+        for name in ("on_touch", "access_counter", "duplication", "ideal"):
+            times[name] = Machine(
+                config, trace, make_policy(name)
+            ).run().total_time_ns
+        assert times["ideal"] == min(times.values())

@@ -1,0 +1,49 @@
+"""On-touch policy behaviour."""
+
+from repro.memory import POLICY_ON_TOUCH
+from repro.policies import OnTouchPolicy
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def run(trace, config):
+    machine = Machine(config, trace, OnTouchPolicy())
+    return machine, machine.run()
+
+
+class TestOnTouch:
+    def test_every_fault_migrates(self, config):
+        records = sweep_records(range(2), "obj", 4, write=False)
+        trace = make_trace({"obj": 4}, [records])
+        _, result = run(trace, config)
+        assert result.migrations == result.page_faults
+        assert result.duplications == 0
+
+    def test_ping_pong_on_shared_pages(self, config):
+        # Two GPUs alternately touching one page re-migrate it each time.
+        records = []
+        for _ in range(5):
+            records.append((0, "obj", 0, True, 2))
+            records.append((1, "obj", 0, True, 2))
+        trace = make_trace({"obj": 1}, [records], burst=1)
+        machine, result = run(trace, config)
+        assert result.migrations >= 9  # first touch + 9 bounces
+
+    def test_private_page_migrates_once(self, config):
+        records = [(2, "obj", 0, True, 4)] * 10
+        trace = make_trace({"obj": 1}, [records])
+        machine, result = run(trace, config)
+        assert result.migrations == 1
+        assert machine.page_tables.location(trace.first_page) == 2
+
+    def test_policy_bits_are_on_touch(self, config):
+        trace = make_trace({"obj": 2}, [[(0, "obj", 0, False)]])
+        machine, result = run(trace, config)
+        assert result.policy_histogram == {POLICY_ON_TOUCH: 2}
+
+    def test_subsequent_local_accesses_free_of_faults(self, config):
+        records = [(0, "obj", 0, False, 16)] * 3
+        trace = make_trace({"obj": 1}, [records])
+        _, result = run(trace, config)
+        assert result.page_faults == 1
+        assert result.stats["access.local"] > 0

@@ -1,0 +1,80 @@
+"""Static-hints (cudaMemAdvise strawman) policy tests."""
+
+import pytest
+
+from repro import make_policy
+from repro.memory import POLICY_DUPLICATION, POLICY_ON_TOUCH
+from repro.policies import StaticAdvisePolicy
+from repro.sim.machine import Machine, simulate
+from tests.conftest import make_trace, sweep_records
+
+
+class TestHintDerivation:
+    def test_read_only_object_advised_read_mostly(self, config):
+        reads = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        writes = sweep_records(range(4), "rw", 2, write=True, weight=4)
+        trace = make_trace({"ro": 2, "rw": 2}, [reads + writes])
+        policy = StaticAdvisePolicy()
+        Machine(config, trace, policy)
+        assert policy.hints == {"ro": "read_mostly", "rw": "none"}
+
+    def test_policy_bits_stamped_per_hint(self, config):
+        reads = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        trace = make_trace({"ro": 2, "other": 2}, [reads])
+        machine = Machine(config, trace, StaticAdvisePolicy())
+        assert machine.page_tables.policy(trace.first_page) == POLICY_DUPLICATION
+        assert machine.page_tables.policy(trace.first_page + 2) == POLICY_ON_TOUCH
+
+    def test_explicit_hints_override(self, config):
+        reads = sweep_records(range(4), "ro", 2, write=False, weight=4)
+        trace = make_trace({"ro": 2}, [reads])
+        policy = StaticAdvisePolicy(hints={"ro": "none"})
+        machine = Machine(config, trace, policy)
+        assert machine.page_tables.policy(trace.first_page) == POLICY_ON_TOUCH
+
+    def test_unknown_advice_rejected(self, config):
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False)]])
+        with pytest.raises(ValueError):
+            Machine(config, trace, StaticAdvisePolicy(hints={"o": "banana"}))
+
+
+class TestBehaviour:
+    def test_matches_duplication_on_read_only_data(self, config):
+        records = sweep_records(range(4), "ro", 4, write=False, weight=16)
+        trace = make_trace({"ro": 4}, [records, records],
+                           explicit=[True, False])
+        advise = simulate(config, trace, make_policy("static_advise"))
+        dup = simulate(config, trace, make_policy("duplication"))
+        assert advise.duplications == dup.duplications
+        assert advise.total_time_ns == pytest.approx(dup.total_time_ns,
+                                                     rel=0.01)
+
+    def test_wrong_hint_write_collapses(self, config):
+        # Hint says read-mostly, but a write arrives anyway.
+        reads = sweep_records(range(4), "o", 2, write=False, weight=4)
+        trace = make_trace({"o": 2}, [reads])
+        policy = StaticAdvisePolicy(hints={"o": "read_mostly"})
+        machine = Machine(config, trace, policy)
+        machine.run()
+        # A write to the duplicated page arrives as a protection fault.
+        cost = policy.on_protection_fault(1, trace.first_page)
+        assert cost > 0
+        assert machine.stats["advise.wrong_hint_writes"] == 1
+        assert machine.page_tables.copy_holders(trace.first_page) == [1]
+
+    def test_cannot_adapt_to_phase_changes(self, config):
+        """An object read-only in phase 0 but written in phase 1 is
+        rw-mix statically, so static advice gives it on-touch — losing
+        the duplication benefit OASIS gets during the read phase."""
+        reads = []
+        for _sweep in range(4):
+            reads += sweep_records(range(4), "o", 8, write=False, weight=48)
+        writes = sweep_records(range(4), "o", 8, write=True, weight=8)
+        trace = make_trace({"o": 8}, [reads, writes],
+                           explicit=[True, True])
+        policy = StaticAdvisePolicy()
+        machine = Machine(config, trace, policy)
+        advise_result = machine.run()
+        assert policy.hints["o"] == "none"  # rw-mix over whole program
+        oasis_result = simulate(config, trace, make_policy("oasis"))
+        assert oasis_result.total_time_ns < advise_result.total_time_ns

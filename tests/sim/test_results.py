@@ -1,0 +1,80 @@
+"""SimulationResult tests."""
+
+import pytest
+
+from repro.sim.results import PhaseResult, SimulationResult
+
+
+def make_result(time=100.0, stats=None, hist=None, l2=None):
+    return SimulationResult(
+        workload="w", policy="p", n_gpus=4, page_size=4096,
+        total_time_ns=time,
+        phases=[PhaseResult("k", True, time, time, time / 2, time / 4)],
+        stats=stats or {},
+        traffic={},
+        policy_histogram=hist or {},
+        l2_miss_policy_counts=l2 or {},
+    )
+
+
+class TestSimulationResult:
+    def test_speedup_over(self):
+        fast = make_result(time=50.0)
+        slow = make_result(time=100.0)
+        assert fast.speedup_over(slow) == 2.0
+        assert slow.speedup_over(fast) == 0.5
+
+    def test_speedup_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(time=0.0).speedup_over(make_result())
+
+    def test_fault_accounting(self):
+        r = make_result(stats={"fault.page": 10, "fault.protection": 3})
+        assert r.page_faults == 10
+        assert r.protection_faults == 3
+        assert r.total_faults == 13
+
+    def test_event_properties_default_zero(self):
+        r = make_result()
+        assert r.migrations == 0
+        assert r.duplications == 0
+        assert r.collapses == 0
+        assert r.evictions == 0
+
+    def test_policy_mix(self):
+        r = make_result(hist={0b00: 3, 0b11: 1})
+        mix = r.policy_mix()
+        assert mix["on_touch"] == 0.75
+        assert mix["duplication"] == 0.25
+
+    def test_policy_mix_empty(self):
+        assert make_result().policy_mix() == {}
+
+    def test_l2_miss_policy_mix(self):
+        r = make_result(l2={"on_touch": 1, "duplication": 3})
+        assert r.l2_miss_policy_mix() == {
+            "on_touch": 0.25, "duplication": 0.75
+        }
+
+    def test_phase_bottleneck(self):
+        phase = PhaseResult("k", True, 10.0, 10.0, 2.0, 1.0)
+        assert phase.bottleneck == "gpu"
+        phase = PhaseResult("k", True, 10.0, 1.0, 10.0, 2.0)
+        assert phase.bottleneck == "driver"
+
+    def test_summary_mentions_workload_and_policy(self):
+        line = make_result().summary()
+        assert "w" in line and "p" in line
+
+
+class TestSerializationToDict:
+    def test_result_to_dict_json_safe(self):
+        import json
+
+        r = make_result(stats={"fault.page": 1}, hist={0: 2},
+                        l2={"on_touch": 3})
+        blob = json.loads(json.dumps(r.to_dict()))
+        assert blob["workload"] == "w"
+        assert blob["stats"]["fault.page"] == 1
+        assert blob["policy_histogram"]["0"] == 2
+        assert len(blob["phases"]) == 1

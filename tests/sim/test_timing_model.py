@@ -1,0 +1,104 @@
+"""Focused tests of the analytical timing model."""
+
+import pytest
+
+from repro import baseline_config, make_policy
+from repro.config import LatencyModel
+from repro.sim.machine import simulate
+from tests.conftest import make_trace
+
+
+class TestComputeFloor:
+    def test_compute_cost_charged_per_access(self):
+        lat = LatencyModel(compute_ns_per_access=1000.0)
+        config = baseline_config().replace(latency=lat)
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False, 100)]])
+        result = simulate(config, trace, make_policy("on_touch"))
+        # 100 accesses x 1000 ns of compute must appear in the GPU time.
+        assert result.phases[0].gpu_busy_ns >= 100 * 1000.0
+
+    def test_zero_compute_still_positive_time(self):
+        lat = LatencyModel(compute_ns_per_access=0.0)
+        config = baseline_config().replace(latency=lat)
+        trace = make_trace({"o": 1}, [[(0, "o", 0, False, 10)]])
+        result = simulate(config, trace, make_policy("on_touch"))
+        assert result.total_time_ns > 0
+
+
+class TestDriverSerialization:
+    def test_concurrent_faults_queue_behind_driver(self):
+        # Four GPUs faulting on distinct pages at t=0 serialize through
+        # the single-server driver: total driver busy = 4 x per-fault.
+        trace = make_trace(
+            {"o": 4},
+            [[(g, "o", g, True, 1) for g in range(4)]],
+            burst=1,
+        )
+        config = baseline_config()
+        result = simulate(config, trace, make_policy("on_touch"))
+        lat = config.latency
+        expected_min = 4 * lat.fault_driver_occupancy_ns
+        assert result.phases[0].driver_busy_ns >= expected_min
+
+    def test_driver_can_be_the_phase_bottleneck(self):
+        # Fault-storm: many pages, one access each, tiny compute.
+        lat = LatencyModel(compute_ns_per_access=0.0,
+                           fault_driver_occupancy_ns=100_000.0)
+        config = baseline_config().replace(latency=lat)
+        records = [(g, "o", g * 8 + p, True, 1)
+                   for g in range(4) for p in range(8)]
+        trace = make_trace({"o": 32}, [records])
+        result = simulate(config, trace, make_policy("on_touch"))
+        assert result.phases[0].bottleneck == "driver"
+
+
+class TestLinkBound:
+    def test_link_time_tracks_migration_bytes(self):
+        config = baseline_config()
+        records = [(0, "o", p, True, 1) for p in range(64)]
+        trace = make_trace({"o": 64}, [records])
+        result = simulate(config, trace, make_policy("on_touch"))
+        # 64 pages moved from host over PCIe.
+        expected = 64 * 4096
+        assert result.traffic["pcie:host-gpu0"] == expected
+
+    def test_remote_accesses_produce_link_traffic(self):
+        config = baseline_config(access_counter_threshold=10**9)
+        records = [(0, "o", 0, True, 4), (1, "o", 0, False, 100)]
+        trace = make_trace({"o": 1}, [records], burst=1)
+        result = simulate(config, trace, make_policy("access_counter"))
+        # GPU1's reads of GPU0-resident... data stays on host under the
+        # uniform counter policy, so the traffic crosses PCIe.
+        assert result.stats["access.host"] > 0
+        assert result.traffic["pcie:host-gpu1"] > 0
+
+
+class TestFaultStallScaling:
+    def test_fault_parallelism_reduces_stall(self):
+        records = [(0, "o", p, True, 1) for p in range(32)]
+        trace = make_trace({"o": 32}, [records])
+        fast = baseline_config().replace(
+            latency=LatencyModel(fault_parallelism=8.0)
+        )
+        slow = baseline_config().replace(
+            latency=LatencyModel(fault_parallelism=1.0)
+        )
+        t_fast = simulate(fast, trace, make_policy("on_touch")).total_time_ns
+        t_slow = simulate(slow, trace, make_policy("on_touch")).total_time_ns
+        assert t_fast < t_slow
+
+
+class TestPhaseBarrier:
+    def test_clocks_synchronize_between_phases(self):
+        # GPU 0 does lots of work in phase 0; GPU 1 works in phase 1.
+        # Phase durations must be the max over GPUs, not overlapping.
+        p0 = [(0, "o", 0, False, 10_000)]
+        p1 = [(1, "o", 1, False, 10_000)]
+        trace = make_trace({"o": 2}, [p0, p1])
+        config = baseline_config()
+        result = simulate(config, trace, make_policy("on_touch"))
+        d0 = result.phases[0].duration_ns
+        d1 = result.phases[1].duration_ns
+        # Both phases carry their own work (no hiding behind the barrier).
+        assert d0 > 0 and d1 > 0
+        assert result.total_time_ns == pytest.approx(d0 + d1)

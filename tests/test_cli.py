@@ -1,0 +1,80 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out
+        assert "oasis" in out
+        assert "fig15" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "nope"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSimulate:
+    def test_default_policies(self, capsys):
+        assert main(["simulate", "mm", "--footprint-mb", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "on_touch" in out
+        assert "oasis" in out
+
+    def test_explicit_policy_list(self, capsys):
+        assert main([
+            "simulate", "mm", "--footprint-mb", "4",
+            "--policy", "on_touch", "--policy", "duplication",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "duplication" in out
+
+    def test_config_flags(self, capsys):
+        assert main([
+            "simulate", "mm", "--footprint-mb", "4", "--gpus", "2",
+            "--distributed", "--reset-threshold", "4",
+            "--policy", "oasis",
+        ]) == 0
+
+
+class TestCharacterize:
+    def test_characterize_prints_objects(self, capsys):
+        assert main(["characterize", "mt"]) == 0
+        out = capsys.readouterr().out
+        assert "MT_Input" in out
+        assert "shared-read-only" in out
+
+
+class TestExperiment:
+    def test_experiment_runs_and_saves(self, capsys, tmp_path):
+        assert main(["experiment", "table1", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline multi-GPU configuration" in out
+        assert (tmp_path / "table1.txt").exists()
+
+
+class TestSweep:
+    def test_sweep_prints_speedup_table(self, capsys):
+        assert main([
+            "sweep", "--apps", "mm", "--footprint-mb", "4",
+            "--policy", "on_touch", "--policy", "ideal",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+        assert "ideal" in out
+
+    def test_sweep_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--policy", "bogus"])

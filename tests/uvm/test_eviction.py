@@ -1,0 +1,78 @@
+"""Eviction-path tests: copy dropping, ownership transfer, writeback."""
+
+from repro.config import HOST
+from tests.uvm.test_driver import make_driver
+
+
+class TestEvictFrom:
+    def test_sole_holder_pays_writeback(self):
+        d = make_driver()
+        d.migrate(0, 0)
+        pcie_before = d.stats["traffic.pcie_bytes"]
+        d.evict_from(0, 0)
+        assert d.page_tables.location(0) == HOST
+        assert d.stats["eviction.count"] == 1
+        assert d.stats["traffic.pcie_bytes"] == pcie_before + d.config.page_size
+
+    def test_duplicate_copy_dropped_without_transfer(self):
+        d = make_driver()
+        d.duplicate(0, 0)
+        d.duplicate(1, 0)
+        bytes_before = (d.stats["traffic.pcie_bytes"]
+                        + d.stats["traffic.nvlink_bytes"])
+        d.evict_from(1, 0)
+        after = (d.stats["traffic.pcie_bytes"]
+                 + d.stats["traffic.nvlink_bytes"])
+        assert after == bytes_before  # no data moved
+        assert d.stats["eviction.copy_dropped"] == 1
+        assert d.page_tables.copy_holders(0) == [0]
+        # GPU 0's mapping is untouched.
+        assert d.page_tables.is_mapped(0, 0)
+        assert not d.page_tables.is_mapped(1, 0)
+
+    def test_owner_eviction_transfers_ownership(self):
+        d = make_driver()
+        d.migrate(2, 0)          # GPU 2 owns the page
+        d.duplicate(3, 0)        # GPU 3 holds a duplicate
+        d.evict_from(2, 0)
+        pt = d.page_tables
+        assert pt.location(0) == 3
+        assert pt.copy_holders(0) == [3]
+        assert not pt.is_mapped(2, 0)
+        assert pt.is_mapped(3, 0)
+        pt.check_invariants()
+
+    def test_owner_transfer_keeps_third_copies(self):
+        d = make_driver()
+        d.migrate(0, 0)
+        d.duplicate(1, 0)
+        d.duplicate(2, 0)
+        d.evict_from(0, 0)
+        holders = sorted(d.page_tables.copy_holders(0))
+        assert holders == [1, 2]
+        assert d.page_tables.location(0) in (1, 2)
+        d.page_tables.check_invariants()
+
+    def test_evict_from_non_holder_rejected(self):
+        import pytest
+
+        d = make_driver()
+        d.migrate(0, 0)
+        with pytest.raises(ValueError):
+            d.evict_from(1, 0)
+
+    def test_eviction_frees_capacity(self):
+        d = make_driver(capacity_pages=4)
+        d.duplicate(0, 0)
+        d.duplicate(1, 0)
+        d.evict_from(1, 0)
+        assert d.capacity.resident_count(1) == 0
+        assert d.capacity.resident_count(0) == 1
+
+    def test_evicted_page_refaults_cleanly(self):
+        d = make_driver()
+        d.migrate(0, 0)
+        d.evict_from(0, 0)
+        d.migrate(1, 0)
+        assert d.page_tables.location(0) == 1
+        d.page_tables.check_invariants()

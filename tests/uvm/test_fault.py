@@ -1,0 +1,35 @@
+"""Fault taxonomy tests."""
+
+import pytest
+
+from repro.uvm import FaultKind, PageFault
+from repro.uvm.fault import ERROR_CODE_W_BIT
+
+
+class TestPageFault:
+    def test_write_fault_sets_w_bit(self):
+        fault = PageFault(gpu=0, page=1, is_write=True)
+        assert fault.w_bit
+        assert fault.error_code & ERROR_CODE_W_BIT
+
+    def test_read_fault_clears_w_bit(self):
+        fault = PageFault(gpu=0, page=1, is_write=False)
+        assert not fault.w_bit
+        assert fault.error_code == 0
+
+    def test_default_kind_is_page(self):
+        assert PageFault(0, 1, False).kind is FaultKind.PAGE
+
+    def test_protection_fault_must_be_write(self):
+        with pytest.raises(ValueError):
+            PageFault(0, 1, is_write=False, kind=FaultKind.PROTECTION)
+
+    def test_protection_write_fault_valid(self):
+        fault = PageFault(0, 1, is_write=True, kind=FaultKind.PROTECTION)
+        assert fault.kind is FaultKind.PROTECTION
+        assert fault.w_bit
+
+    def test_frozen(self):
+        fault = PageFault(0, 1, False)
+        with pytest.raises(AttributeError):
+            fault.gpu = 2

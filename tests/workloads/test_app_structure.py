@@ -1,0 +1,81 @@
+"""Structural checks of individual application models."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.workloads import get_workload
+
+
+def names_of(trace):
+    return [o.name for o in trace.objects]
+
+
+class TestC2DStructure:
+    def test_pipeline_phases_in_order(self):
+        trace = get_workload("c2d", baseline_config())
+        names = [p.name for p in trace.phases]
+        assert names[0] == "setup"
+        assert names[1:4] == ["im2col_l0", "gemm_l0", "transpose_l0"]
+        assert names[4:7] == ["im2col_l1", "gemm_l1", "transpose_l1"]
+        assert names[-1] == "readback"
+
+    def test_figure6_objects_present(self):
+        trace = get_workload("c2d", baseline_config())
+        for name in ("C2D_Input", "C2D_Weights", "Im2col_Output",
+                     "GEMM_Output", "MT_Output"):
+            assert name in names_of(trace)
+
+
+class TestFFTStructure:
+    def test_two_objects_only(self):
+        trace = get_workload("fft", baseline_config())
+        assert names_of(trace) == ["FFT_Data", "FFT_Twiddle"]
+
+    def test_stages_are_implicit_after_first(self):
+        trace = get_workload("fft", baseline_config())
+        assert trace.phases[0].explicit
+        assert all(not p.explicit for p in trace.phases[1:])
+
+
+class TestSwapApps:
+    @pytest.mark.parametrize("app,obj_a,obj_b", [
+        ("st", "ST_currData", "ST_newData"),
+        ("pr", "PR_RankA", "PR_RankB"),
+        ("bfs", "BFS_Frontier", "BFS_NewFrontier"),
+    ])
+    def test_buffers_alternate_roles(self, app, obj_a, obj_b):
+        from repro.analysis import classify_object
+
+        trace = get_workload(app, baseline_config())
+        a = next(o for o in trace.objects if o.name == obj_a)
+        pat0 = classify_object(trace, a, phases=[0]).rw
+        pat1 = classify_object(trace, a, phases=[1]).rw
+        assert pat0 != pat1, (app, pat0, pat1)
+
+
+class TestMTStructure:
+    def test_single_explicit_phase(self):
+        trace = get_workload("mt", baseline_config())
+        assert len(trace.phases) == 1
+        assert trace.phases[0].explicit
+
+    def test_input_and_output_similar_size(self):
+        trace = get_workload("mt", baseline_config())
+        objs = {o.name: o for o in trace.objects}
+        ratio = objs["MT_Input"].n_pages / objs["MT_Output"].n_pages
+        assert 0.95 < ratio < 1.05
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("app", ["bfs", "pr", "fft"])
+    def test_same_seed_same_trace(self, app):
+        a = get_workload(app, baseline_config(), seed=3)
+        b = get_workload(app, baseline_config(), seed=3)
+        assert a is b  # cached
+
+    def test_different_seeds_differ_for_random_apps(self):
+        import numpy as np
+
+        a = get_workload("bfs", baseline_config(), seed=0)
+        b = get_workload("bfs", baseline_config(), seed=1)
+        assert not np.array_equal(a.phases[0].page, b.phases[0].page)

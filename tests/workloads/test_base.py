@@ -1,0 +1,159 @@
+"""TraceBuilder and trace-structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import TraceBuilder
+
+
+def builder(**kwargs):
+    defaults = dict(name="t", n_gpus=2, page_size=4096, seed=0, burst=2)
+    defaults.update(kwargs)
+    return TraceBuilder(**defaults)
+
+
+class TestAllocation:
+    def test_obj_ids_sequential(self):
+        b = builder()
+        a = b.alloc("a", 4096)
+        c = b.alloc("c", 4096)
+        assert (a.obj_id, c.obj_id) == (0, 1)
+
+    def test_alloc_phase_tracks_completed_phases(self):
+        b = builder()
+        first = b.alloc("first", 4096)
+        b.begin_phase("p0")
+        b.end_phase()
+        late = b.alloc("late", 4096)
+        assert first.alloc_phase == 0
+        assert late.alloc_phase == 1
+
+    def test_free_marks_phase(self):
+        b = builder()
+        obj = b.alloc("a", 4096)
+        b.begin_phase("p0")
+        b.end_phase()
+        b.free(obj)
+        assert obj.free_phase == 1
+
+    def test_build_requires_objects(self):
+        with pytest.raises(RuntimeError):
+            builder().build()
+
+
+class TestEmission:
+    def test_emit_bounds_checked(self):
+        b = builder()
+        obj = b.alloc("a", 4096 * 2)
+        b.begin_phase("p")
+        with pytest.raises(IndexError):
+            b.emit(0, obj, 2, False)
+
+    def test_emit_outside_phase_rejected(self):
+        b = builder()
+        obj = b.alloc("a", 4096)
+        with pytest.raises(RuntimeError):
+            b.emit(0, obj, 0, False)
+
+    def test_zero_weight_rejected(self):
+        b = builder()
+        obj = b.alloc("a", 4096)
+        b.begin_phase("p")
+        with pytest.raises(ValueError):
+            b.emit(0, obj, 0, False, weight=0)
+
+    def test_emit_block_empty_is_noop(self):
+        b = builder()
+        obj = b.alloc("a", 4096)
+        b.begin_phase("p")
+        b.emit_block(0, obj, np.array([], dtype=np.int64), write=False)
+        phase = b.end_phase()
+        assert len(phase) == 0
+
+    def test_nested_phase_rejected(self):
+        b = builder()
+        b.alloc("a", 4096)
+        b.begin_phase("p")
+        with pytest.raises(RuntimeError):
+            b.begin_phase("q")
+
+    def test_build_with_open_phase_rejected(self):
+        b = builder()
+        b.alloc("a", 4096)
+        b.begin_phase("p")
+        with pytest.raises(RuntimeError):
+            b.build()
+
+
+class TestInterleaving:
+    def test_burst_round_robin(self):
+        b = builder(burst=2)
+        obj = b.alloc("a", 4096 * 8)
+        b.begin_phase("p")
+        for p in range(4):
+            b.emit(0, obj, p, False)
+        for p in range(4):
+            b.emit(1, obj, p, False)
+        phase = b.end_phase()
+        assert phase.gpu.tolist() == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_uneven_streams_drain_fully(self):
+        b = builder(burst=3)
+        obj = b.alloc("a", 4096 * 8)
+        b.begin_phase("p")
+        b.emit(0, obj, 0, False)
+        for p in range(5):
+            b.emit(1, obj, p, True)
+        phase = b.end_phase()
+        assert len(phase) == 6
+        assert sorted(phase.gpu.tolist()) == [0, 1, 1, 1, 1, 1]
+
+
+class TestWeightScaling:
+    def test_weight_scale_is_one_at_4k(self):
+        b = builder()
+        obj = b.alloc("a", 4096 * 4)
+        assert b.weight_scale(obj) == 1
+
+    def test_weight_scale_grows_with_page_size(self):
+        b = builder(page_size=2 * 1024 * 1024)
+        obj = b.alloc("a", 8 * 1024 * 1024)
+        assert b.weight_scale(obj) == 512
+
+    def test_weight_scale_capped_by_object_density(self):
+        # A 64 KB object on one 2 MB page only stands for 16 4K-units.
+        b = builder(page_size=2 * 1024 * 1024)
+        obj = b.alloc("a", 64 * 1024)
+        assert b.weight_scale(obj) == 16
+
+
+class TestTrace:
+    def test_footprint_counts_page_rounded_sizes(self):
+        b = builder()
+        b.alloc("a", 5000)  # 2 pages
+        b.begin_phase("p")
+        b.end_phase()
+        trace = b.build()
+        assert trace.footprint_bytes == 2 * 4096
+
+    def test_object_of_page(self):
+        b = builder()
+        a = b.alloc("a", 4096 * 2)
+        c = b.alloc("c", 4096 * 3)
+        b.begin_phase("p")
+        b.end_phase()
+        trace = b.build()
+        assert trace.object_of_page(a.first_page).name == "a"
+        assert trace.object_of_page(c.first_page + 2).name == "c"
+        assert trace.object_of_page(c.last_page + 1) is None
+
+    def test_total_accesses_sums_weights(self):
+        b = builder()
+        obj = b.alloc("a", 4096)
+        b.begin_phase("p")
+        b.emit(0, obj, 0, False, weight=7)
+        b.emit(1, obj, 0, True, weight=3)
+        b.end_phase()
+        trace = b.build()
+        assert trace.total_accesses == 10
+        assert trace.total_records == 2

@@ -1,0 +1,76 @@
+"""DNN workload-model tests."""
+
+import pytest
+
+from repro.workloads.dnn import LENET, RESNET18, VGG16, build_dnn
+
+
+class TestModelSpecs:
+    def test_lenet_object_arithmetic(self):
+        # 7 layers x 16-object template + 3 globals = 115 (Table II).
+        assert len(LENET.layers) == 7
+        assert len(LENET.template) == 16
+        assert LENET.n_objects == 115
+
+    def test_vgg16_object_arithmetic(self):
+        # 21 layers x 11 + 9 globals = 240.
+        assert len(VGG16.layers) == 21
+        assert len(VGG16.template) == 11
+        assert VGG16.n_objects == 240
+
+    def test_resnet18_object_arithmetic(self):
+        # 26 layers x 10 + 3 globals = 263.
+        assert len(RESNET18.layers) == 26
+        assert len(RESNET18.template) == 10
+        assert RESNET18.n_objects == 263
+
+    def test_lenet_phase_arithmetic(self):
+        # 9 minibatches x (7 fwd + 7 bwd) + 3 setup = 129 (Section VI-A).
+        assert LENET.n_explicit_phases == 129
+
+
+class TestBuiltTraces:
+    @pytest.mark.parametrize("spec", [LENET], ids=["lenet"])
+    def test_phase_count_matches_spec(self, spec):
+        trace = build_dnn(spec, footprint_mb=12)
+        assert len(trace.phases) == spec.n_explicit_phases
+        assert all(p.explicit for p in trace.phases)
+
+    def test_forward_backward_ordering(self):
+        trace = build_dnn(LENET, footprint_mb=12)
+        names = [p.name for p in trace.phases]
+        # After the setup phases: forward layers ascend, backward descend.
+        assert names[3] == "fwd_b0_l0"
+        assert names[9] == "fwd_b0_l6"
+        assert names[10] == "bwd_b0_l6"
+        assert names[16] == "bwd_b0_l0"
+
+    def test_every_layer_object_allocated_once(self):
+        trace = build_dnn(LENET, footprint_mb=12)
+        names = [o.name for o in trace.objects]
+        assert len(names) == len(set(names))
+        assert "conv1_W" in names
+        assert "fc1_dW" in names
+
+    def test_weights_read_by_all_gpus_each_minibatch(self):
+        trace = build_dnn(LENET, footprint_mb=12)
+        weights = next(o for o in trace.objects if o.name == "conv1_W")
+        fwd_phases = [p for p in trace.phases if p.name.startswith("fwd_b")
+                      and p.name.endswith("_l0")]
+        assert len(fwd_phases) == LENET.minibatches
+        for phase in fwd_phases:
+            pages = set(phase.page.tolist())
+            assert weights.first_page in pages
+
+    def test_footprint_scales(self):
+        small = build_dnn(LENET, footprint_mb=12)
+        large = build_dnn(LENET, footprint_mb=24)
+        assert large.footprint_bytes > 1.5 * small.footprint_bytes
+
+    def test_respects_gpu_count(self):
+        trace = build_dnn(LENET, n_gpus=8, footprint_mb=12)
+        assert trace.n_gpus == 8
+        gpus = set()
+        for phase in trace.phases[:10]:
+            gpus.update(phase.gpu.tolist())
+        assert len(gpus) == 8

@@ -1,0 +1,69 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro import baseline_config, make_policy, simulate
+from repro.workloads import get_workload
+from repro.workloads.io import load_trace, save_trace
+from tests.conftest import make_trace
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, tmp_path):
+        trace = make_trace(
+            {"a": 3, "b": 2},
+            [[(0, "a", 0, False, 5), (1, "b", 1, True, 2)], []],
+            explicit=[True, False],
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.name == trace.name
+        assert loaded.n_gpus == trace.n_gpus
+        assert loaded.page_size == trace.page_size
+        assert loaded.first_page == trace.first_page
+        assert loaded.n_pages == trace.n_pages
+        assert [o.name for o in loaded.objects] == ["a", "b"]
+        assert loaded.objects[0].n_pages == 3
+        assert [p.name for p in loaded.phases] == ["phase0", "phase1"]
+        assert loaded.phases[0].explicit
+        assert not loaded.phases[1].explicit
+
+    def test_records_preserved_exactly(self, tmp_path):
+        trace = get_workload("mm", baseline_config(), footprint_mb=4)
+        loaded = load_trace(save_trace(trace, tmp_path / "mm.npz"))
+        for original, restored in zip(trace.phases, loaded.phases):
+            assert np.array_equal(original.gpu, restored.gpu)
+            assert np.array_equal(original.page, restored.page)
+            assert np.array_equal(original.write, restored.write)
+            assert np.array_equal(original.weight, restored.weight)
+
+    def test_simulation_identical_on_loaded_trace(self, tmp_path):
+        config = baseline_config()
+        trace = get_workload("st", config, footprint_mb=4)
+        loaded = load_trace(save_trace(trace, tmp_path / "st.npz"))
+        a = simulate(config, trace, make_policy("oasis"))
+        b = simulate(config, loaded, make_policy("oasis"))
+        assert a.total_time_ns == b.total_time_ns
+        assert a.stats == b.stats
+
+    def test_free_phase_preserved(self, tmp_path):
+        trace = make_trace({"a": 1}, [[(0, "a", 0, False)]])
+        trace.objects[0].free_phase = 0
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.objects[0].free_phase == 0
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        trace = make_trace({"a": 1}, [[(0, "a", 0, False)]])
+        path = save_trace(trace, tmp_path / "t.npz")
+        # Corrupt the version field.
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 99
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                     dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

@@ -1,0 +1,141 @@
+"""Access-pattern primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import TraceBuilder
+from repro.workloads.patterns import (
+    band_offsets,
+    emit_broadcast,
+    emit_gather,
+    emit_halo,
+    emit_owner_init,
+    emit_partitioned,
+    emit_random,
+)
+
+
+def setup(pages=16, n_gpus=4, page_size=4096):
+    b = TraceBuilder("t", n_gpus, page_size, seed=1, burst=4)
+    obj = b.alloc("obj", pages * page_size)
+    b.begin_phase("p")
+    return b, obj
+
+
+def touched_by(phase, n_gpus):
+    """page -> set of GPUs, split by read/write."""
+    readers, writers = {}, {}
+    for gpu, page, write, _w in zip(
+        phase.gpu.tolist(), phase.page.tolist(), phase.write.tolist(),
+        phase.weight.tolist(),
+    ):
+        target = writers if write else readers
+        target.setdefault(page, set()).add(gpu)
+    return readers, writers
+
+
+class TestBandOffsets:
+    def test_bands_cover_object_exactly_at_4k(self):
+        b, obj = setup(pages=16)
+        pages = np.concatenate([band_offsets(obj, 4, i) for i in range(4)])
+        assert sorted(set(pages.tolist())) == list(range(16))
+
+    def test_bands_nearly_disjoint_at_4k(self):
+        b, obj = setup(pages=16)
+        bands = [set(band_offsets(obj, 4, i).tolist()) for i in range(4)]
+        overlap = sum(len(bands[i] & bands[i + 1]) for i in range(3))
+        assert overlap == 0
+
+    def test_bands_overlap_with_large_pages(self):
+        b = TraceBuilder("t", 4, 2 * 1024 * 1024, seed=0)
+        obj = b.alloc("obj", 3 * 2 * 1024 * 1024)  # 3 pages, 4 bands
+        bands = [set(band_offsets(obj, 4, i).tolist()) for i in range(4)]
+        assert bands[0] & bands[1]  # boundary page shared
+
+    def test_tiny_object_single_page_all_bands(self):
+        b = TraceBuilder("t", 4, 2 * 1024 * 1024, seed=0)
+        obj = b.alloc("obj", 4096)
+        for band in range(4):
+            assert band_offsets(obj, 4, band).tolist() == [0]
+
+    def test_band_out_of_range(self):
+        b, obj = setup()
+        with pytest.raises(ValueError):
+            band_offsets(obj, 4, 4)
+
+
+class TestEmitters:
+    def test_partitioned_pages_private(self):
+        b, obj = setup(pages=16)
+        emit_partitioned(b, obj, write=True, weight=2)
+        readers, writers = touched_by(b.end_phase(), 4)
+        assert all(len(gpus) == 1 for gpus in writers.values())
+        assert len(writers) == 16
+
+    def test_partitioned_shift_rotates_ownership(self):
+        b, obj = setup(pages=16)
+        emit_partitioned(b, obj, write=True, weight=1, shift=1)
+        _, writers = touched_by(b.end_phase(), 4)
+        # Band 0 (pages 0-3) is written by GPU 3 under shift=1.
+        assert writers[obj.first_page] == {3}
+
+    def test_broadcast_touches_everything_by_everyone(self):
+        b, obj = setup(pages=8)
+        emit_broadcast(b, obj, write=False, weight=1)
+        readers, _ = touched_by(b.end_phase(), 4)
+        assert all(gpus == {0, 1, 2, 3} for gpus in readers.values())
+        assert len(readers) == 8
+
+    def test_halo_shares_boundary_pages(self):
+        b, obj = setup(pages=16)
+        emit_halo(b, obj, write=False, weight=1, halo_pages=1)
+        readers, _ = touched_by(b.end_phase(), 4)
+        # Page 3 (end of band 0) also read by GPU 1.
+        assert readers[obj.first_page + 3] == {0, 1}
+        # Interior page 1 private.
+        assert readers[obj.first_page + 1] == {0}
+
+    def test_periodic_halo_wraps(self):
+        b, obj = setup(pages=16)
+        emit_halo(b, obj, write=False, weight=1, halo_pages=1, periodic=True)
+        readers, _ = touched_by(b.end_phase(), 4)
+        # GPU 0 also reads the last page of GPU 3's band.
+        assert 0 in readers[obj.first_page + 15]
+
+    def test_gather_samples_all_bands(self):
+        b, obj = setup(pages=32)
+        emit_gather(b, obj, write=False, weight=1, fraction=1.0, rng=b.rng)
+        readers, _ = touched_by(b.end_phase(), 4)
+        assert all(gpus == {0, 1, 2, 3} for gpus in readers.values())
+
+    def test_gather_fraction_bounds(self):
+        b, obj = setup()
+        with pytest.raises(ValueError):
+            emit_gather(b, obj, write=False, weight=1, fraction=0.0,
+                        rng=b.rng)
+
+    def test_random_respects_write_ratio(self):
+        b, obj = setup(pages=100)
+        emit_random(b, obj, weight=1, fraction=1.0, write_ratio=0.3,
+                    rng=b.rng)
+        phase = b.end_phase()
+        writes = int(phase.write.sum())
+        assert writes == 4 * 30  # 30% of 100 pages per GPU
+
+    def test_random_write_ratio_bounds(self):
+        b, obj = setup()
+        with pytest.raises(ValueError):
+            emit_random(b, obj, weight=1, fraction=0.5, write_ratio=1.5,
+                        rng=b.rng)
+
+    def test_owner_init_single_gpu_writes_all(self):
+        b, obj = setup(pages=8)
+        emit_owner_init(b, obj, weight=1, gpu=2)
+        _, writers = touched_by(b.end_phase(), 4)
+        assert all(gpus == {2} for gpus in writers.values())
+        assert len(writers) == 8
+
+    def test_halo_negative_rejected(self):
+        b, obj = setup()
+        with pytest.raises(ValueError):
+            emit_halo(b, obj, write=False, weight=1, halo_pages=-1)

@@ -1,0 +1,111 @@
+"""Application registry tests: Table II / Table III invariants."""
+
+import pytest
+
+from repro.config import MB, baseline_config
+from repro.workloads import APPLICATION_ORDER, APPLICATIONS, get_workload
+
+#: Relative tolerance on built footprints vs the paper's (rounded) MB.
+FOOTPRINT_TOL = 0.03
+
+
+class TestRegistryMetadata:
+    def test_eleven_applications(self):
+        assert len(APPLICATIONS) == 11
+        assert set(APPLICATION_ORDER) == set(APPLICATIONS)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("nope")
+
+    def test_case_insensitive(self):
+        assert get_workload("MM").name == "mm"
+
+    def test_footprint_for_unknown_gpu_count_picks_nearest(self):
+        info = APPLICATIONS["mm"]
+        assert info.footprint_for(6) in (info.footprint_mb[4],
+                                         info.footprint_mb[8])
+
+    def test_suites_match_table2(self):
+        assert APPLICATIONS["bfs"].suite == "SHOC"
+        assert APPLICATIONS["mm"].suite == "AMDAPPSDK"
+        assert APPLICATIONS["pr"].suite == "Hetero-Mark"
+        assert APPLICATIONS["lenet"].suite == "DNN-Mark"
+
+    def test_patterns_match_table2(self):
+        assert APPLICATIONS["bfs"].pattern == "random"
+        assert APPLICATIONS["pr"].pattern == "random"
+        for app in ("c2d", "st", "lenet", "vgg16", "resnet18"):
+            assert APPLICATIONS[app].pattern == "adjacent"
+        for app in ("fft", "i2c", "mm", "mt"):
+            assert APPLICATIONS[app].pattern == "scatter-gather"
+
+
+@pytest.mark.parametrize("app", APPLICATION_ORDER)
+class TestTable2Invariants:
+    def test_object_count_matches_paper(self, app):
+        trace = get_workload(app, baseline_config())
+        assert trace.n_objects == APPLICATIONS[app].n_objects
+
+    def test_footprint_matches_paper(self, app):
+        trace = get_workload(app, baseline_config())
+        target = APPLICATIONS[app].footprint_for(4) * MB
+        assert abs(trace.footprint_bytes - target) / target < FOOTPRINT_TOL
+
+    def test_trace_structure_sound(self, app):
+        trace = get_workload(app, baseline_config())
+        assert trace.n_gpus == 4
+        assert len(trace.phases) >= 1
+        assert trace.phases[0].explicit  # first kernel launch
+        assert trace.total_records > 0
+        # Every record's page belongs to some object.
+        for phase in trace.phases[:2]:
+            pages = phase.page
+            if len(pages):
+                assert pages.min() >= trace.first_page
+                assert pages.max() <= trace.first_page + trace.n_pages - 1
+
+
+@pytest.mark.parametrize("n_gpus", [8, 16])
+@pytest.mark.parametrize("app", ["bfs", "mm", "st", "lenet"])
+class TestTable3Scaling:
+    def test_scaled_footprints(self, app, n_gpus):
+        trace = get_workload(app, n_gpus=n_gpus)
+        target = APPLICATIONS[app].footprint_for(n_gpus) * MB
+        assert abs(trace.footprint_bytes - target) / target < FOOTPRINT_TOL
+        assert trace.n_gpus == n_gpus
+        assert trace.n_objects == APPLICATIONS[app].n_objects
+
+
+class TestCaching:
+    def test_same_parameters_return_same_trace(self):
+        a = get_workload("mm")
+        b = get_workload("mm")
+        assert a is b
+
+    def test_different_seed_rebuilds(self):
+        a = get_workload("bfs", seed=0)
+        b = get_workload("bfs", seed=1)
+        assert a is not b
+
+
+class TestSpecialConfigurations:
+    def test_2mb_pages_build(self):
+        from repro.config import PAGE_SIZE_2M
+
+        trace = get_workload("mm", page_size=PAGE_SIZE_2M)
+        assert trace.page_size == PAGE_SIZE_2M
+        assert trace.total_records > 0
+
+    def test_footprint_override(self):
+        trace = get_workload("mm", footprint_mb=64)
+        assert abs(trace.footprint_bytes - 64 * MB) / (64 * MB) < FOOTPRINT_TOL
+
+    def test_explicit_phase_counts(self):
+        lenet = get_workload("lenet")
+        assert sum(p.explicit for p in lenet.phases) == 129  # Section VI-A
+        c2d = get_workload("c2d")
+        assert sum(p.explicit for p in c2d.phases) == 8
+        st = get_workload("st")
+        assert sum(p.explicit for p in st.phases) == 1
+        assert sum(not p.explicit for p in st.phases) == 19
