@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench sweep
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench-smoke:
+	$(PYTHON) scripts/bench_smoke.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+sweep:
+	$(PYTHON) scripts/sweep.py --jobs 4

@@ -8,11 +8,15 @@ Environment knobs:
 
 * ``REPRO_BENCH_APPS`` — comma-separated subset of applications (e.g.
   ``mm,st,bfs``) for quick smoke runs; default is all eleven.
+* ``REPRO_BENCH_NO_CACHE`` — set to disable the persistent result cache.
 
 Simulation results are memoized per process (see
 :mod:`repro.harness.runner`), so benchmarks that share runs — Fig. 2 is a
 subset of Fig. 15; Figs. 22/23/24 reuse the GRIT/OASIS runs — only pay
-once per session.
+once per session.  They are additionally persisted to the on-disk store
+(``results/cache/``), so a re-run of the suite replays every figure from
+cache instead of re-simulating; the session summary reports the hit/miss
+counts for both levels.
 """
 
 from __future__ import annotations
@@ -22,9 +26,24 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness import run_experiment
+from repro.harness import cache_stats, configure, run_experiment
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def persistent_result_cache():
+    """Route every benchmark's runs through the on-disk result store."""
+    use_disk = not os.environ.get("REPRO_BENCH_NO_CACHE", "").strip()
+    if use_disk:
+        configure(disk_cache=True)
+    yield
+    stats = cache_stats()
+    print(
+        f"\n[simulation cache: in-process {stats['hits']} hits / "
+        f"{stats['misses']} misses, disk {stats['disk_hits']} hits / "
+        f"{stats['disk_misses']} misses]"
+    )
 
 
 def bench_apps() -> list[str] | None:

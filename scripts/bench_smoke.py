@@ -1,0 +1,125 @@
+"""Replay-performance smoke benchmark: the perf trajectory for PRs.
+
+Times single-run replay (fast path vs ``REPRO_FORCE_SLOW_PATH``) for a
+fixed three-app subset (mm, st, i2c — the steady-state-heavy traces),
+exercises the two-level result cache, and writes
+``results/BENCH_replay.json`` with records/sec, wall time per run and
+the cache hit rate so successive PRs can compare like for like.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py   # or: make bench-smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import baseline_config, get_workload, make_policy  # noqa: E402
+from repro.harness import cache_stats, configure, run_sim  # noqa: E402
+from repro.harness.runner import clear_cache  # noqa: E402
+from repro.sim.machine import Machine  # noqa: E402
+
+APPS = ("mm", "st", "i2c")
+POLICY = "on_touch"
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_replay.json"
+
+
+def time_replay(config, trace, slow: bool) -> float:
+    """Wall time of one full replay, built fresh (no warm caches)."""
+    if slow:
+        os.environ["REPRO_FORCE_SLOW_PATH"] = "1"
+    else:
+        os.environ.pop("REPRO_FORCE_SLOW_PATH", None)
+    try:
+        machine = Machine(config, trace, make_policy(POLICY))
+        t0 = time.perf_counter()
+        machine.run()
+        return time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_FORCE_SLOW_PATH", None)
+
+
+def bench_replay(config) -> list[dict]:
+    rows = []
+    for app in APPS:
+        trace = get_workload(app, config)
+        records = trace.total_records
+        fast_s = min(time_replay(config, trace, slow=False) for _ in range(3))
+        slow_s = min(time_replay(config, trace, slow=True) for _ in range(2))
+        rows.append(
+            {
+                "app": app,
+                "policy": POLICY,
+                "records": records,
+                "fast_wall_s": round(fast_s, 4),
+                "slow_wall_s": round(slow_s, 4),
+                "speedup": round(slow_s / fast_s, 2),
+                "records_per_sec": round(records / fast_s),
+            }
+        )
+        print(
+            f"{app:6s} {records:8d} records  fast {fast_s:6.3f}s  "
+            f"slow {slow_s:6.3f}s  speedup {slow_s / fast_s:5.2f}x  "
+            f"({records / fast_s:,.0f} rec/s)"
+        )
+    return rows
+
+
+def bench_cache(config) -> dict:
+    """Cold+warm pass through the harness; returns the hit rate."""
+    with tempfile.TemporaryDirectory() as tmp:
+        configure(disk_cache=True, cache_dir=tmp)
+        try:
+            for app in APPS:
+                run_sim(config, app, POLICY, footprint_mb=8.0)
+            clear_cache()  # drop in-process entries; disk survives
+            for app in APPS:
+                run_sim(config, app, POLICY, footprint_mb=8.0)
+            stats = cache_stats()
+        finally:
+            configure(disk_cache=False)
+            clear_cache()
+    lookups = stats["disk_hits"] + stats["disk_misses"]
+    rate = stats["disk_hits"] / lookups if lookups else 0.0
+    print(
+        f"cache  warm pass: {stats['disk_hits']}/{len(APPS)} runs from disk "
+        f"(hit rate {rate:.0%})"
+    )
+    return {
+        "disk_hits": stats["disk_hits"],
+        "disk_misses": stats["disk_misses"],
+        "hit_rate": round(rate, 3),
+    }
+
+
+def main() -> int:
+    config = baseline_config()
+    replay = bench_replay(config)
+    cache = bench_cache(config)
+    payload = {
+        "benchmark": "replay_smoke",
+        "apps": list(APPS),
+        "policy": POLICY,
+        "replay": replay,
+        "cache": cache,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {RESULTS_PATH}]")
+    worst = min(row["speedup"] for row in replay)
+    if worst < 3.0:
+        print(f"WARNING: worst-case replay speedup {worst:.2f}x is below 3x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

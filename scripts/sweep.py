@@ -1,33 +1,39 @@
-"""Calibration sweep: all apps x all policies, speedups vs on-touch."""
-import sys
+"""Calibration sweep: all apps x all policies, speedups vs on-touch.
+
+Runs through the cached harness runner, so repeated sweeps reuse the
+persistent result store and independent runs spread across worker
+processes (``--jobs N``; ``--no-cache`` disables the disk cache).
+"""
+import argparse
 import time
 
-from repro import baseline_config, make_policy, simulate, get_workload
+from repro import baseline_config
+from repro.harness import cache_stats, configure, speedup_table
 from repro.workloads import APPLICATION_ORDER
 
 POL = ["on_touch", "access_counter", "duplication", "ideal", "grit", "oasis",
        "oasis_inmem"]
 
 
-def main(apps=None):
-    cfg = baseline_config()
-    apps = apps or APPLICATION_ORDER
-    print(f"{'app':9s} " + " ".join(f"{p[:9]:>9s}" for p in POL))
-    geo = {p: 1.0 for p in POL}
-    n = 0
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("apps", nargs="*", help="subset of applications")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    configure(jobs=args.jobs, disk_cache=not args.no_cache)
+    apps = args.apps or list(APPLICATION_ORDER)
     t0 = time.time()
-    for app in apps:
-        tr = get_workload(app, cfg)
-        times = {p: simulate(cfg, tr, make_policy(p)).total_time_ns for p in POL}
-        base = times["on_touch"]
-        print(f"{app:9s} " + " ".join(f"{base / times[p]:9.2f}" for p in POL),
+    rows, _geo = speedup_table(baseline_config(), apps, POL)
+    print(f"{'app':9s} " + " ".join(f"{p[:9]:>9s}" for p in POL))
+    for row in rows:
+        print(f"{row[0]:9s} " + " ".join(f"{v:9.2f}" for v in row[1:]),
               flush=True)
-        for p in POL:
-            geo[p] *= base / times[p]
-        n += 1
-    print(f"{'geomean':9s} " + " ".join(f"{geo[p] ** (1 / n):9.2f}" for p in POL))
-    print(f"[{time.time() - t0:.0f}s]")
+    stats = cache_stats()
+    print(f"[{time.time() - t0:.0f}s  mem {stats['hits']}h/"
+          f"{stats['misses']}m  disk {stats['disk_hits']}h/"
+          f"{stats['disk_misses']}m]")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:] or None)
+    main()

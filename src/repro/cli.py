@@ -70,7 +70,17 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _configure_runner(args) -> None:
+    from repro.harness import configure
+
+    configure(
+        jobs=getattr(args, "jobs", None),
+        disk_cache=not getattr(args, "no_cache", False),
+    )
+
+
 def cmd_experiment(args) -> int:
+    _configure_runner(args)
     apps = args.apps.split(",") if args.apps else None
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
     for exp_id in ids:
@@ -101,6 +111,7 @@ def cmd_list(_args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    _configure_runner(args)
     config = _build_config(args)
     apps = (
         [a.strip() for a in args.apps.split(",") if a.strip()]
@@ -162,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=[*sorted(EXPERIMENTS), "all"])
     exp.add_argument("--apps", default=None)
     exp.add_argument("--save", default="results")
+    exp.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for independent runs")
+    exp.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="skip the persistent result cache")
     exp.set_defaults(func=cmd_experiment)
 
     swp = sub.add_parser("sweep",
@@ -176,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--distributed", action="store_true")
     swp.add_argument("--oversubscription", type=float, default=None)
     swp.add_argument("--reset-threshold", type=int, default=None)
+    swp.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for independent runs")
+    swp.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="skip the persistent result cache")
     swp.set_defaults(func=cmd_sweep)
 
     lst = sub.add_parser("list", help="list apps, policies, experiments")

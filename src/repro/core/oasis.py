@@ -128,11 +128,6 @@ class OasisPolicy(CounterMigrationMixin, PolicyEngine):
         # bit is set.
         return self._shared_fault(gpu, page, is_write=True)
 
-    def on_remote_access(
-        self, gpu: int, page: int, is_write: bool, weight: int
-    ) -> None:
-        self._handle_counted_remote(gpu, page, weight)
-
     # -- internals ----------------------------------------------------------------
 
     def _shared_fault(self, gpu: int, page: int, is_write: bool) -> float:

@@ -57,6 +57,20 @@ class SerialServer:
         self._requests += 1
         return done
 
+    def advance_to(
+        self, free_at: float, busy_total: float, n_requests: int
+    ) -> None:
+        """Apply the outcome of an externally simulated FIFO run.
+
+        The fast replay path folds many :meth:`submit` calls into one
+        scalar loop; this installs the resulting server state.  The caller
+        must have started its recurrence from the current ``free_at`` and
+        ``busy_time`` so the hand-back is exact.
+        """
+        self._free_at = free_at
+        self._busy_total = busy_total
+        self._requests += n_requests
+
     def reset(self) -> None:
         """Forget all state (used at phase boundaries in tests)."""
         self._free_at = 0.0

@@ -8,17 +8,29 @@ under ``benchmarks/``) to regenerate any table or figure of the paper::
     print(result.render())
 """
 
+from repro.harness.diskcache import DiskCache
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import ExperimentResult, format_table, geomean
-from repro.harness.runner import clear_cache, run_sim, speedup_table
+from repro.harness.runner import (
+    cache_stats,
+    clear_cache,
+    configure,
+    run_sim,
+    run_sims_parallel,
+    speedup_table,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "DiskCache",
     "ExperimentResult",
+    "cache_stats",
     "clear_cache",
+    "configure",
     "format_table",
     "geomean",
     "run_experiment",
     "run_sim",
+    "run_sims_parallel",
     "speedup_table",
 ]

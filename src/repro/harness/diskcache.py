@@ -1,0 +1,119 @@
+"""Persistent on-disk store for simulation results.
+
+Simulations are deterministic functions of (system config, application,
+footprint, seed, policy, policy kwargs), so their results can be reused
+across processes and sessions, not just within one interpreter.  The
+store keys each run by a SHA-256 content hash of that full parameter
+tuple — plus a simulator-version salt and the replay-path selection, so
+a semantic change to the simulator or an ``REPRO_FORCE_SLOW_PATH`` A/B
+run can never read a stale entry — and keeps one JSON file per result
+under ``results/cache/`` (override with ``REPRO_CACHE_DIR``).
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing on the same key at worst both compute it; neither can observe a
+half-written file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.sim.fastpath import force_slow_path
+from repro.sim.results import SimulationResult
+
+#: Bump whenever simulator semantics change in a way that alters results;
+#: every previously cached entry becomes unreachable (stale files are
+#: inert JSON and can be deleted with ``repro-oasis``'s cache pruning or
+#: a plain ``rm -r``).
+SIMULATOR_VERSION = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = "results/cache"
+
+
+def cache_key(
+    config: SystemConfig,
+    app: str,
+    policy: str,
+    footprint_mb: float | None,
+    seed: int,
+    policy_kwargs: dict,
+) -> str:
+    """Content hash identifying one simulation run."""
+    payload = {
+        "simulator_version": SIMULATOR_VERSION,
+        "slow_path": force_slow_path(),
+        "config": dataclasses.asdict(config),
+        "app": app,
+        "policy": policy,
+        "footprint_mb": footprint_mb,
+        "seed": seed,
+        "policy_kwargs": sorted(policy_kwargs.items()),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class DiskCache:
+    """One directory of content-addressed simulation results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable.
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The stored result for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "simulator_version": SIMULATOR_VERSION,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def stats(self) -> dict[str, int]:
+        return {"disk_hits": self.hits, "disk_misses": self.misses}

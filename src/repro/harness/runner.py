@@ -2,24 +2,112 @@
 
 Several figures share (config, workload, policy) combinations — Fig. 2 is
 a subset of Fig. 15, Figs. 22/23/24 reuse the same OASIS/GRIT runs — so
-simulation results are memoized per process.  ``SystemConfig`` is a frozen
-dataclass, which makes the full configuration part of the cache key.
+simulation results are memoized at two levels:
+
+* **in process** — a bounded LRU keyed by the full parameter tuple
+  (``SystemConfig`` is a frozen dataclass, so the whole configuration is
+  hashable).  The bound (default 256 results, override with
+  ``REPRO_RUNNER_CACHE_SIZE``) keeps long sweep sessions from holding
+  every result ever computed.
+* **on disk** — optionally, a persistent content-addressed store (see
+  :mod:`repro.harness.diskcache`) shared across processes and sessions.
+  Enable with :func:`configure` or ``REPRO_DISK_CACHE=1``.
+
+Independent runs can also be computed in parallel across worker
+processes with :func:`run_sims_parallel`; :func:`speedup_table` uses it
+to pre-warm the caches when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
 from repro import POLICY_FACTORIES, make_policy
 from repro.config import SystemConfig
+from repro.harness.diskcache import DiskCache, cache_key
 from repro.harness.report import geomean
 from repro.sim import SimulationResult, simulate
 from repro.workloads import get_workload
 
-_CACHE: dict[tuple, SimulationResult] = {}
+#: Default cap on in-process memoized results.
+DEFAULT_CACHE_SIZE = 256
+
+_CACHE: OrderedDict[tuple, SimulationResult] = OrderedDict()
+_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_DISK: DiskCache | None = (
+    DiskCache() if os.environ.get("REPRO_DISK_CACHE", "").strip() not in ("", "0")
+    else None
+)
+_JOBS = 1
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get("REPRO_RUNNER_CACHE_SIZE", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CACHE_SIZE
+
+
+def configure(
+    jobs: int | None = None,
+    disk_cache: bool | None = None,
+    cache_dir: str | None = None,
+) -> None:
+    """Adjust runner-wide settings.
+
+    Args:
+        jobs: default worker-process count for :func:`run_sims_parallel`
+            and :func:`speedup_table` (1 = serial).
+        disk_cache: enable/disable the persistent result store.
+        cache_dir: directory for the persistent store (implies enabling
+            it); defaults to ``results/cache`` / ``REPRO_CACHE_DIR``.
+    """
+    global _DISK, _JOBS
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        _JOBS = jobs
+    if cache_dir is not None:
+        _DISK = DiskCache(cache_dir)
+    elif disk_cache is not None:
+        _DISK = DiskCache() if disk_cache else None
 
 
 def clear_cache() -> None:
-    """Drop all memoized simulation results."""
+    """Drop all in-process memoized results and reset counters."""
     _CACHE.clear()
+    _STATS.update(hits=0, misses=0, evictions=0)
+    if _DISK is not None:
+        _DISK.hits = 0
+        _DISK.misses = 0
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for both cache levels."""
+    stats = {
+        "size": len(_CACHE),
+        "capacity": _cache_capacity(),
+        **_STATS,
+        "disk_hits": 0,
+        "disk_misses": 0,
+    }
+    if _DISK is not None:
+        stats.update(_DISK.stats())
+    return stats
+
+
+def _remember(key: tuple, result: SimulationResult) -> None:
+    _CACHE[key] = result
+    _CACHE.move_to_end(key)
+    capacity = _cache_capacity()
+    while len(_CACHE) > capacity:
+        _CACHE.popitem(last=False)
+        _STATS["evictions"] += 1
 
 
 def run_sim(
@@ -45,11 +133,117 @@ def run_sim(
     )
     cached = _CACHE.get(key)
     if cached is not None:
+        _CACHE.move_to_end(key)
+        _STATS["hits"] += 1
         return cached
+    _STATS["misses"] += 1
+    disk = _DISK
+    if disk is not None:
+        digest = cache_key(config, app, policy, footprint_mb, seed, policy_kwargs)
+        stored = disk.load(digest)
+        if stored is not None:
+            _remember(key, stored)
+            return stored
     trace = get_workload(app, config, footprint_mb=footprint_mb, seed=seed)
     result = simulate(config, trace, make_policy(policy, **policy_kwargs))
-    _CACHE[key] = result
+    if disk is not None:
+        disk.store(digest, result)
+    _remember(key, result)
     return result
+
+
+# -- parallel execution ----------------------------------------------------
+
+
+def _normalize_request(request) -> dict:
+    if isinstance(request, dict):
+        spec = dict(request)
+    else:
+        config, app, policy, *rest = request
+        spec = {"config": config, "app": app, "policy": policy}
+        if rest:
+            spec.update(rest[0])
+    spec.setdefault("footprint_mb", None)
+    spec.setdefault("seed", 0)
+    spec.setdefault("policy_kwargs", {})
+    return spec
+
+
+def _worker(payload: tuple) -> SimulationResult:
+    spec, disk_enabled, disk_root = payload
+    if disk_enabled and _DISK is None:
+        configure(disk_cache=True, cache_dir=disk_root)
+    return run_sim(
+        spec["config"],
+        spec["app"],
+        spec["policy"],
+        footprint_mb=spec["footprint_mb"],
+        seed=spec["seed"],
+        **spec["policy_kwargs"],
+    )
+
+
+def run_sims_parallel(requests, jobs: int | None = None) -> list[SimulationResult]:
+    """Run many independent simulations across worker processes.
+
+    Args:
+        requests: iterable of run specs — either
+            ``(config, app, policy)`` triples (optionally with a fourth
+            element: a dict of ``footprint_mb`` / ``seed`` /
+            ``policy_kwargs`` extras) or dicts with those keys.
+        jobs: worker processes; defaults to the :func:`configure` value.
+            With ``jobs=1`` everything runs serially in-process.
+
+    Returns:
+        Results in request order.  Each result also lands in the
+        in-process cache (and, when enabled, the disk cache — workers
+        write it, so a crashed sweep keeps its finished runs).
+    """
+    specs = [_normalize_request(r) for r in requests]
+    n_jobs = jobs if jobs is not None else _JOBS
+    if n_jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    n_jobs = min(n_jobs, max(1, len(specs)))
+    if n_jobs == 1:
+        return [_worker((spec, False, None)) for spec in specs]
+
+    def spec_key(spec: dict) -> tuple:
+        return (
+            spec["config"],
+            spec["app"],
+            spec["policy"],
+            spec["footprint_mb"],
+            spec["seed"],
+            tuple(sorted(spec["policy_kwargs"].items())),
+        )
+
+    # Only ship cache misses to the pool, and each distinct run once.
+    pending: dict[tuple, dict] = {}
+    for spec in specs:
+        key = spec_key(spec)
+        if key not in _CACHE and key not in pending:
+            pending[key] = spec
+    if pending:
+        disk_enabled = _DISK is not None
+        disk_root = str(_DISK.root) if disk_enabled else None
+        payloads = [
+            (spec, disk_enabled, disk_root) for spec in pending.values()
+        ]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for key, result in zip(pending, pool.map(_worker, payloads)):
+                _STATS["misses"] += 1
+                _remember(key, result)
+    return [
+        run_sim(
+            spec["config"],
+            spec["app"],
+            spec["policy"],
+            footprint_mb=spec["footprint_mb"],
+            seed=spec["seed"],
+            **spec["policy_kwargs"],
+        )
+        for spec in specs
+    ]
 
 
 def speedup_table(
@@ -59,6 +253,7 @@ def speedup_table(
     baseline: str = "on_touch",
     baseline_config: SystemConfig | None = None,
     footprint_mb: dict[str, float] | None = None,
+    jobs: int | None = None,
 ) -> tuple[list[list], dict[str, float]]:
     """Speedups of each policy over the baseline, per app plus geomean.
 
@@ -70,6 +265,8 @@ def speedup_table(
         baseline_config: optional distinct config for the baseline run
             (defaults to ``config``).
         footprint_mb: optional per-app footprint override.
+        jobs: pre-warm the caches with this many worker processes
+            (defaults to the :func:`configure` value; 1 = serial).
 
     Returns:
         ``(rows, geomeans)`` where each row is
@@ -77,6 +274,16 @@ def speedup_table(
         to its geometric-mean speedup.
     """
     base_cfg = baseline_config or config
+    n_jobs = jobs if jobs is not None else _JOBS
+    if n_jobs > 1:
+        requests = []
+        for app in apps:
+            mb = footprint_mb.get(app) if footprint_mb else None
+            extras = {"footprint_mb": mb}
+            requests.append((base_cfg, app, baseline, extras))
+            for policy in policies:
+                requests.append((config, app, policy, extras))
+        run_sims_parallel(requests, jobs=n_jobs)
     rows = []
     per_policy: dict[str, list[float]] = {p: [] for p in policies}
     for app in apps:

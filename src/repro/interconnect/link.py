@@ -48,6 +48,18 @@ class Link:
         self._messages += 1
         return time
 
+    def record_bulk(self, n_bytes: int, n_messages: int) -> None:
+        """Account ``n_messages`` transfers totalling ``n_bytes`` at once.
+
+        Traffic totals are plain integer sums, so this is exactly
+        equivalent to ``n_messages`` individual :meth:`record` calls
+        (whose per-transfer return times the replay loop does not use).
+        """
+        if n_bytes < 0 or n_messages < 0:
+            raise ValueError("bulk transfer counts must be non-negative")
+        self._bytes += n_bytes
+        self._messages += n_messages
+
     def reset_traffic(self) -> None:
         """Zero the traffic counters (start of a fresh run)."""
         self._bytes = 0

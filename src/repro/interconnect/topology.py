@@ -55,6 +55,12 @@ class Topology:
         """Move ``n_bytes`` between devices; returns the transfer time."""
         return self.link(src, dst).record(n_bytes)
 
+    def record_transfer_bulk(
+        self, src: int, dst: int, n_bytes: int, n_messages: int
+    ) -> None:
+        """Account a batch of same-pair transfers in one call."""
+        self.link(src, dst).record_bulk(n_bytes, n_messages)
+
     def links(self) -> list[Link]:
         """Every link in the topology."""
         return list(self._links.values())

@@ -33,6 +33,10 @@ class AccessCounterFile:
     def pages_per_group(self) -> int:
         return self._pages_per_group
 
+    @property
+    def n_gpus(self) -> int:
+        return self._n_gpus
+
     def group_of(self, page: int) -> int:
         """Counter group covering ``page``."""
         return page // self._pages_per_group
@@ -74,6 +78,31 @@ class AccessCounterFile:
             return True
         self._counts[key] = value
         return False
+
+    def count_by_key(self, key: int) -> int:
+        """Current count for a raw ``group * n_gpus + gpu`` key.
+
+        The vectorized replay path computes keys in bulk with numpy using
+        the same formula as :meth:`_key`; this reader and
+        :meth:`add_bulk_below_threshold` let it prove and apply
+        trip-free batches without re-deriving (gpu, page) pairs.
+        """
+        return self._counts.get(key, 0)
+
+    def add_bulk_below_threshold(self, key: int, weight: int) -> None:
+        """Add pre-validated accesses that provably cannot trip.
+
+        Equivalent to the same total weight of :meth:`record_remote` calls
+        when the caller has already proven the threshold is unreachable;
+        raises if the proof was wrong rather than silently skipping the
+        migration a per-record replay would have performed.
+        """
+        value = self._counts.get(key, 0) + weight
+        if value >= self._threshold:
+            raise RuntimeError(
+                f"bulk counter add crossed the threshold (key={key})"
+            )
+        self._counts[key] = value
 
     def reset_group(self, page: int) -> None:
         """Clear every GPU's counter for ``page``'s group (after migration)."""

@@ -16,6 +16,14 @@ page index) because the simulator touches single pages on its hot path;
 bulk views for analysis are exposed via :meth:`policy_histogram` and
 friends.
 
+For the vectorized steady-state replay path the same columns are also
+available as numpy arrays (:meth:`bulk_views`).  The arrays are built
+lazily on first request and then kept in sync incrementally by every
+mutator, so the fast-path eligibility scan is a handful of numpy mask
+operations instead of a dict/list probe per trace record.  ``version``
+increments on every mutation; the replay loop uses it to know when a
+previously computed eligibility mask went stale.
+
 Invariants maintained by the mutators (checked by :meth:`check_invariants`):
 
 * if ``owner`` is a GPU, that GPU is in the copy set;
@@ -26,6 +34,8 @@ Invariants maintained by the mutators (checked by :meth:`check_invariants`):
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.config import HOST
 from repro.memory.page import POLICY_ON_TOUCH
@@ -73,6 +83,9 @@ class PageTables:
         self._mapped_mask = [0] * n_pages
         self._writable_mask = [0] * n_pages
         self._policy = [POLICY_ON_TOUCH] * n_pages
+        #: Bumped on every mutation; consumers cache derived state per version.
+        self.version = 0
+        self._views: dict[str, np.ndarray] | None = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -89,6 +102,89 @@ class PageTables:
         if not 0 <= idx < self._n_pages:
             raise IndexError(f"page {page} outside tracked range")
         return idx
+
+    # -- bulk numpy views ---------------------------------------------------
+
+    def bulk_views(self) -> dict[str, np.ndarray]:
+        """Numpy mirrors of the per-page columns for vectorized scans.
+
+        Returns arrays indexed by ``page - first_page``: ``owner`` (device
+        ids), ``copies`` / ``mapped`` / ``writable`` (per-GPU bitmasks) and
+        ``policy`` (PTE policy bits), all int64.  Built lazily on first
+        call, then updated in place by every mutator — callers must treat
+        them as read-only and re-check :attr:`version` to detect staleness
+        of anything they derived from them.
+        """
+        if self._views is None:
+            self._views = {
+                "owner": np.array(self._owner, dtype=np.int64),
+                "copies": np.array(self._copy_mask, dtype=np.int64),
+                "mapped": np.array(self._mapped_mask, dtype=np.int64),
+                "writable": np.array(self._writable_mask, dtype=np.int64),
+                "policy": np.array(self._policy, dtype=np.int64),
+            }
+        return self._views
+
+    def _sync_page(self, idx: int) -> None:
+        """Refresh the numpy mirrors for one page after a mutation."""
+        self.version += 1
+        views = self._views
+        if views is not None:
+            views["owner"][idx] = self._owner[idx]
+            views["copies"][idx] = self._copy_mask[idx]
+            views["mapped"][idx] = self._mapped_mask[idx]
+            views["writable"][idx] = self._writable_mask[idx]
+            views["policy"][idx] = self._policy[idx]
+
+    def bulk_install_exclusive(
+        self, idxs: np.ndarray, gpus: np.ndarray
+    ) -> None:
+        """Fast-path batch of ``set_exclusive`` + ``map_local(writable)``.
+
+        Only valid for previously *virgin* pages (host owner, no copies,
+        no mappings) — the caller proves that before batching, which is
+        what makes the result identical to per-page mutator calls.
+        """
+        owner = self._owner
+        copies = self._copy_mask
+        mapped = self._mapped_mask
+        writable = self._writable_mask
+        for idx, gpu in zip(idxs.tolist(), gpus.tolist()):
+            bit = 1 << gpu
+            owner[idx] = gpu
+            copies[idx] = bit
+            mapped[idx] = bit
+            writable[idx] = bit
+        self.version += 1
+        views = self._views
+        if views is not None and len(idxs):
+            bits = np.left_shift(np.int64(1), gpus)
+            views["owner"][idxs] = gpus
+            views["copies"][idxs] = bits
+            views["mapped"][idxs] = bits
+            views["writable"][idxs] = bits
+
+    def bulk_install_duplicate(
+        self, idxs: np.ndarray, gpus: np.ndarray
+    ) -> None:
+        """Fast-path batch of ``add_copy`` + ``map_local(read-only)``.
+
+        Only valid for virgin pages; the owner (the host) keeps the
+        authoritative copy and the requester gets a read-only duplicate,
+        exactly as ``UVMDriver.duplicate`` leaves a first-touch page.
+        """
+        copies = self._copy_mask
+        mapped = self._mapped_mask
+        for idx, gpu in zip(idxs.tolist(), gpus.tolist()):
+            bit = 1 << gpu
+            copies[idx] = bit
+            mapped[idx] = bit
+        self.version += 1
+        views = self._views
+        if views is not None and len(idxs):
+            bits = np.left_shift(np.int64(1), gpus)
+            views["copies"][idxs] = bits
+            views["mapped"][idxs] = bits
 
     # -- host page table (centralized) -------------------------------------
 
@@ -146,6 +242,7 @@ class PageTables:
             self._writable_mask[idx] |= bit
         else:
             self._writable_mask[idx] &= ~bit
+        self._sync_page(idx)
 
     def map_remote(self, gpu: int, page: int) -> None:
         """Install a PTE pointing at the remote authoritative copy."""
@@ -157,6 +254,7 @@ class PageTables:
             )
         self._mapped_mask[idx] |= bit
         self._writable_mask[idx] &= ~bit
+        self._sync_page(idx)
 
     def unmap(self, gpu: int, page: int) -> bool:
         """Invalidate ``gpu``'s PTE; returns True if it was valid."""
@@ -165,6 +263,7 @@ class PageTables:
         was = bool(self._mapped_mask[idx] & bit)
         self._mapped_mask[idx] &= ~bit
         self._writable_mask[idx] &= ~bit
+        self._sync_page(idx)
         return was
 
     def unmap_all_except(self, page: int, keep: int | None = None) -> list[int]:
@@ -177,6 +276,7 @@ class PageTables:
         keep_bit = 0 if keep is None else (mask & (1 << keep))
         self._mapped_mask[idx] = keep_bit
         self._writable_mask[idx] &= keep_bit
+        self._sync_page(idx)
         return victims
 
     # -- data movement ------------------------------------------------------
@@ -190,6 +290,7 @@ class PageTables:
         idx = self._idx(page)
         self._owner[idx] = device
         self._copy_mask[idx] = 0 if device == HOST else (1 << device)
+        self._sync_page(idx)
 
     def add_copy(self, gpu: int, page: int) -> None:
         """Record a duplicate of the page on ``gpu``.
@@ -201,6 +302,7 @@ class PageTables:
         self._copy_mask[idx] |= 1 << gpu
         if self._coherent:
             self._writable_mask[idx] = 0
+        self._sync_page(idx)
 
     def drop_copy(self, gpu: int, page: int) -> None:
         """Discard ``gpu``'s duplicate (PTE must be unmapped separately)."""
@@ -208,6 +310,7 @@ class PageTables:
         if self._owner[idx] == gpu:
             raise ValueError(f"cannot drop the owner copy of page {page}")
         self._copy_mask[idx] &= ~(1 << gpu)
+        self._sync_page(idx)
 
     # -- PTE policy bits -----------------------------------------------------
 
@@ -217,7 +320,9 @@ class PageTables:
 
     def set_policy(self, page: int, bits: int) -> None:
         """Set the PTE policy bits of one page."""
-        self._policy[self._idx(page)] = bits
+        idx = self._idx(page)
+        self._policy[idx] = bits
+        self._sync_page(idx)
 
     def set_policy_range(self, first_page: int, n_pages: int, bits: int) -> None:
         """Set the policy bits of a contiguous page range (object-wide)."""
@@ -226,6 +331,9 @@ class PageTables:
         if stop > self._n_pages:
             raise IndexError("policy range extends past tracked pages")
         self._policy[start:stop] = [bits] * n_pages
+        self.version += 1
+        if self._views is not None:
+            self._views["policy"][start:stop] = bits
 
     def policy_histogram(self) -> dict[int, int]:
         """Count of pages per policy-bit value."""

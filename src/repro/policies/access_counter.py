@@ -37,8 +37,3 @@ class AccessCounterPolicy(CounterMigrationMixin, PolicyEngine):
             pt.map_local(gpu, page, writable=True)
             return self.config.latency.pte_update_ns
         return self.driver.map_remote(gpu, page)
-
-    def on_remote_access(
-        self, gpu: int, page: int, is_write: bool, weight: int
-    ) -> None:
-        self._handle_counted_remote(gpu, page, weight)

@@ -98,6 +98,19 @@ class CounterMigrationMixin:
     group migrates to the requesting GPU in one driver operation.
     """
 
+    def on_remote_access(
+        self, gpu: int, page: int, is_write: bool, weight: int
+    ) -> None:
+        """Count the remote accesses; migrate the group on a threshold trip.
+
+        Shared verbatim by every counter-counting policy.  The vectorized
+        replay fast path detects this exact method (``type(policy).
+        on_remote_access is CounterMigrationMixin.on_remote_access``) to
+        know remote-access handling is pure counting — a policy that
+        overrides it drops back to per-record replay.
+        """
+        self._handle_counted_remote(gpu, page, weight)
+
     def _count_remote_bulk(self, gpu: int, page: int, weight: int) -> bool:
         """Add ``weight`` remote accesses at once; True if threshold trips.
 

@@ -168,11 +168,6 @@ class GritPolicy(CounterMigrationMixin, PolicyEngine):
         # the duplicated page.
         return cost + self.driver.collapse(gpu, page)
 
-    def on_remote_access(
-        self, gpu: int, page: int, is_write: bool, weight: int
-    ) -> None:
-        self._handle_counted_remote(gpu, page, weight)
-
     # -- decision logic --------------------------------------------------------------
 
     def _maybe_decide(self, page: int, meta: PageMeta) -> None:

@@ -23,6 +23,7 @@ from repro.interconnect import Topology
 from repro.memory import AccessCounterFile, CapacityManager, PageTables
 from repro.memory.page import policy_name
 from repro.policies.base import PolicyEngine
+from repro.sim.fastpath import FastReplay
 from repro.sim.results import PhaseResult, SimulationResult
 from repro.tlb import TLBHierarchy
 from repro.uvm import UVMDriver
@@ -93,6 +94,9 @@ class Machine:
         self.l2_miss_policy_counts: dict[str, int] = {}
         self._allocated: set[int] = set()
         policy.attach(self)
+        # Vectorized steady-state replayer; None when the run must stay on
+        # the per-record path (capacity manager, REPRO_FORCE_SLOW_PATH).
+        self._fast = FastReplay.for_machine(self)
 
     # -- setup helpers ----------------------------------------------------
 
@@ -259,9 +263,12 @@ class Machine:
     def _run_phase(self, phase, start_time: float) -> PhaseResult:
         link_busy_before = [link.busy_time_ns for link in self.topology.links()]
         driver_busy_before = self.driver.queue.busy_time
-        access = self.access
-        for gpu, page, write, weight in phase.records():
-            access(gpu, page, bool(write), weight)
+        if self._fast is not None:
+            self._fast.run_phase(phase)
+        else:
+            access = self.access
+            for gpu, page, write, weight in phase.records():
+                access(gpu, page, bool(write), weight)
         gpu_busy = max(
             (clock - start_time for clock in self.clocks), default=0.0
         )

@@ -132,6 +132,37 @@ class SimulationResult:
             "l2_miss_policy_counts": dict(self.l2_miss_policy_counts),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_dict` snapshot."""
+        return cls(
+            workload=payload["workload"],
+            policy=payload["policy"],
+            n_gpus=payload["n_gpus"],
+            page_size=payload["page_size"],
+            total_time_ns=payload["total_time_ns"],
+            phases=[
+                PhaseResult(
+                    name=p["name"],
+                    explicit=p["explicit"],
+                    duration_ns=p["duration_ns"],
+                    gpu_busy_ns=p["gpu_busy_ns"],
+                    driver_busy_ns=p["driver_busy_ns"],
+                    link_busy_ns=p["link_busy_ns"],
+                )
+                for p in payload["phases"]
+            ],
+            stats=dict(payload["stats"]),
+            traffic=dict(payload["traffic"]),
+            policy_histogram={
+                int(bits): count
+                for bits, count in payload["policy_histogram"].items()
+            },
+            l2_miss_policy_counts=dict(
+                payload.get("l2_miss_policy_counts", {})
+            ),
+        )
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         return (

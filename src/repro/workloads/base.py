@@ -171,8 +171,15 @@ class TraceBuilder:
         self._phases: list[PhaseTrace] = []
         self._phase_name: str | None = None
         self._phase_explicit = True
-        # Per-GPU pending record lists for the open phase.
-        self._pending: list[list[tuple[int, int, int]]] | None = None
+        # Per-GPU pending segments for the open phase: each segment is a
+        # (pages, write, weight) array triple from one emit/emit_block.
+        self._pending: (
+            list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] | None
+        ) = None
+        # Per-GPU buffers of single emit() records, flushed into one
+        # segment when a block lands behind them or the phase ends.
+        self._singles: list[list[tuple[int, int, int]]] | None = None
+        self._scale_cache: dict[int, int] = {}
 
     # -- allocation ------------------------------------------------------
 
@@ -201,6 +208,7 @@ class TraceBuilder:
         self._phase_name = name
         self._phase_explicit = explicit
         self._pending = [[] for _ in range(self.n_gpus)]
+        self._singles = [[] for _ in range(self.n_gpus)]
 
     def weight_scale(self, obj: ObjectDef) -> int:
         """Access-weight multiplier for one of ``obj``'s pages.
@@ -208,10 +216,17 @@ class TraceBuilder:
         Generators express weights per 4 KB of data; with larger pages
         one page record stands for proportionally more accesses (capped
         by how much of the page the object actually occupies), keeping
-        total dynamic accesses roughly page-size invariant.
+        total dynamic accesses roughly page-size invariant.  The value
+        is fixed per object, so it is computed once and cached.
         """
-        bytes_per_page = min(self.page_size, max(1, obj.size_bytes // obj.n_pages))
-        return max(1, round(bytes_per_page / 4096))
+        scale = self._scale_cache.get(obj.obj_id)
+        if scale is None:
+            bytes_per_page = min(
+                self.page_size, max(1, obj.size_bytes // obj.n_pages)
+            )
+            scale = max(1, round(bytes_per_page / 4096))
+            self._scale_cache[obj.obj_id] = scale
+        return scale
 
     def emit(
         self, gpu: int, obj: ObjectDef, page_offset: int, write: bool,
@@ -228,7 +243,9 @@ class TraceBuilder:
         if weight < 1:
             raise ValueError("weight must be >= 1")
         page = obj.first_page + page_offset
-        self._pending[gpu].append((page, int(write), weight * self.weight_scale(obj)))
+        self._singles[gpu].append(
+            (page, int(write), weight * self.weight_scale(obj))
+        )
 
     def emit_block(
         self,
@@ -250,39 +267,80 @@ class TraceBuilder:
             )
         if weight < 1:
             raise ValueError("weight must be >= 1")
-        pages = (obj.first_page + offsets).tolist()
-        w = int(write)
-        scaled = weight * self.weight_scale(obj)
-        self._pending[gpu].extend((p, w, scaled) for p in pages)
+        n = len(offsets)
+        self._flush_singles(gpu)
+        self._pending[gpu].append(
+            (
+                obj.first_page + offsets,
+                np.full(n, int(write), dtype=np.uint8),
+                np.full(n, weight * self.weight_scale(obj), dtype=np.int64),
+            )
+        )
+
+    def _flush_singles(self, gpu: int) -> None:
+        """Convert buffered emit() records into one pending segment."""
+        singles = self._singles[gpu]
+        if not singles:
+            return
+        self._pending[gpu].append(
+            (
+                np.array([s[0] for s in singles], dtype=np.int64),
+                np.array([s[1] for s in singles], dtype=np.uint8),
+                np.array([s[2] for s in singles], dtype=np.int64),
+            )
+        )
+        singles.clear()
 
     def end_phase(self) -> PhaseTrace:
-        """Interleave the per-GPU streams in bursts and close the phase."""
+        """Interleave the per-GPU streams in bursts and close the phase.
+
+        The interleave is computed with one stable ``np.lexsort`` over
+        (burst index, gpu) keys, which reproduces the round-robin burst
+        order byte for byte: round *r* carries each GPU's *r*-th burst
+        of records, GPUs in ascending order, records in emission order.
+        """
         if self._pending is None:
             raise RuntimeError("no open phase")
-        merged: list[tuple[int, int, int, int]] = []
-        cursors = [0] * self.n_gpus
-        streams = self._pending
-        remaining = sum(len(s) for s in streams)
-        while remaining:
-            for gpu in range(self.n_gpus):
-                stream = streams[gpu]
-                start = cursors[gpu]
-                stop = min(start + self.burst, len(stream))
-                for page, w, weight in stream[start:stop]:
-                    merged.append((gpu, page, w, weight))
-                taken = stop - start
-                cursors[gpu] = stop
-                remaining -= taken
-        phase = PhaseTrace(
-            name=self._phase_name,
-            explicit=self._phase_explicit,
-            gpu=np.array([m[0] for m in merged], dtype=np.uint8),
-            page=np.array([m[1] for m in merged], dtype=np.int64),
-            write=np.array([m[2] for m in merged], dtype=np.uint8),
-            weight=np.array([m[3] for m in merged], dtype=np.int64),
-        )
+        gpu_parts: list[np.ndarray] = []
+        page_parts: list[np.ndarray] = []
+        write_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        block_parts: list[np.ndarray] = []
+        for gpu in range(self.n_gpus):
+            self._flush_singles(gpu)
+            segments = self._pending[gpu]
+            if not segments:
+                continue
+            pages = np.concatenate([s[0] for s in segments])
+            n = len(pages)
+            page_parts.append(pages)
+            write_parts.append(np.concatenate([s[1] for s in segments]))
+            weight_parts.append(np.concatenate([s[2] for s in segments]))
+            gpu_parts.append(np.full(n, gpu, dtype=np.uint8))
+            block_parts.append(np.arange(n, dtype=np.int64) // self.burst)
+        if page_parts:
+            gpu_all = np.concatenate(gpu_parts)
+            order = np.lexsort((gpu_all, np.concatenate(block_parts)))
+            phase = PhaseTrace(
+                name=self._phase_name,
+                explicit=self._phase_explicit,
+                gpu=gpu_all[order],
+                page=np.concatenate(page_parts)[order],
+                write=np.concatenate(write_parts)[order],
+                weight=np.concatenate(weight_parts)[order],
+            )
+        else:
+            phase = PhaseTrace(
+                name=self._phase_name,
+                explicit=self._phase_explicit,
+                gpu=np.array([], dtype=np.uint8),
+                page=np.array([], dtype=np.int64),
+                write=np.array([], dtype=np.uint8),
+                weight=np.array([], dtype=np.int64),
+            )
         self._phases.append(phase)
         self._pending = None
+        self._singles = None
         self._phase_name = None
         return phase
 

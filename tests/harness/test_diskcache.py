@@ -1,0 +1,140 @@
+"""Persistent result store + parallel runner tests."""
+
+import json
+
+import pytest
+
+from repro import baseline_config
+from repro.harness import cache_stats, configure, run_sim, run_sims_parallel
+from repro.harness.diskcache import DiskCache, cache_key
+from repro.harness.runner import _CACHE, clear_cache
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner(tmp_path):
+    """Point the runner at a throwaway disk cache; restore after."""
+    clear_cache()
+    configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+    yield
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+
+
+SMALL = {"footprint_mb": 4.0}
+
+
+class TestDiskCache:
+    def test_round_trip(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        cache.store(key, result)
+        loaded = cache.load(key)
+        assert isinstance(loaded, SimulationResult)
+        assert loaded.to_dict() == result.to_dict()
+        assert cache.stats() == {"disk_hits": 1, "disk_misses": 0}
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        assert cache.load("0" * 64) is None
+        assert cache.stats() == {"disk_hits": 0, "disk_misses": 1}
+
+    def test_corrupt_entry_is_a_miss(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        path.write_text("{not json")
+        assert cache.load(key) is None
+
+    def test_key_depends_on_parameters(self, config):
+        base = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        assert cache_key(config, "st", "on_touch", 4.0, 0, {}) != base
+        assert cache_key(config, "mm", "oasis", 4.0, 0, {}) != base
+        assert cache_key(config, "mm", "on_touch", 8.0, 0, {}) != base
+        assert cache_key(config, "mm", "on_touch", 4.0, 1, {}) != base
+        assert (
+            cache_key(config, "mm", "on_touch", 4.0, 0, {"x": 1}) != base
+        )
+        other = config.replace(reset_threshold=4)
+        assert cache_key(other, "mm", "on_touch", 4.0, 0, {}) != base
+
+    def test_key_depends_on_slow_path(self, config, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_SLOW_PATH", raising=False)
+        fast = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        monkeypatch.setenv("REPRO_FORCE_SLOW_PATH", "1")
+        slow = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        assert fast != slow
+
+    def test_run_sim_survives_cleared_memory_cache(self, config):
+        a = run_sim(config, "mm", "on_touch", **SMALL)
+        clear_cache()
+        b = run_sim(config, "mm", "on_touch", **SMALL)
+        assert a is not b  # rebuilt from disk, not the same object
+        assert a.to_dict() == b.to_dict()
+        assert cache_stats()["disk_hits"] == 1
+
+
+class TestBoundedMemoryCache:
+    def test_lru_cap_evicts_oldest(self, config, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_SIZE", "2")
+        for app in ("mm", "st", "i2c"):
+            run_sim(config, app, "on_touch", **SMALL)
+        stats = cache_stats()
+        assert stats["size"] == 2
+        assert stats["capacity"] == 2
+        assert stats["evictions"] == 1
+        keys = list(_CACHE)
+        assert [k[1] for k in keys] == ["st", "i2c"]
+
+    def test_hit_refreshes_recency(self, config, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_SIZE", "2")
+        run_sim(config, "mm", "on_touch", **SMALL)
+        run_sim(config, "st", "on_touch", **SMALL)
+        run_sim(config, "mm", "on_touch", **SMALL)  # refresh mm
+        run_sim(config, "i2c", "on_touch", **SMALL)  # evicts st
+        assert [k[1] for k in _CACHE] == ["mm", "i2c"]
+
+    def test_cache_stats_counts(self, config):
+        run_sim(config, "mm", "on_touch", **SMALL)
+        run_sim(config, "mm", "on_touch", **SMALL)
+        stats = cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+
+class TestRunSimsParallel:
+    def test_matches_serial(self, config):
+        requests = [
+            (config, app, policy, SMALL)
+            for app in ("mm", "i2c")
+            for policy in ("on_touch", "oasis")
+        ]
+        parallel = run_sims_parallel(requests, jobs=2)
+        clear_cache()
+        serial = [
+            run_sim(config, app, policy, **SMALL)
+            for app in ("mm", "i2c")
+            for policy in ("on_touch", "oasis")
+        ]
+        assert len(parallel) == len(serial)
+        for p, s in zip(parallel, serial):
+            assert p.to_dict() == s.to_dict()
+
+    def test_results_enter_memory_cache(self, config):
+        run_sims_parallel([(config, "mm", "on_touch", SMALL)], jobs=2)
+        assert run_sim(config, "mm", "on_touch", **SMALL) is not None
+        assert cache_stats()["hits"] >= 1
+
+    def test_dict_requests(self, config):
+        [result] = run_sims_parallel(
+            [{"config": config, "app": "mm", "policy": "on_touch",
+              "footprint_mb": 4.0}],
+            jobs=1,
+        )
+        assert result.workload == "mm"
+
+    def test_rejects_bad_jobs(self, config):
+        with pytest.raises(ValueError):
+            run_sims_parallel([(config, "mm", "on_touch")], jobs=0)
