@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep
+.PHONY: test bench-smoke bench sweep verify-faults
 
 test:
 	$(PYTHON) -m pytest -q
+
+# Fault-model verification: machine-invariant audit plus the
+# fastpath-equivalence-under-injection and harness-resilience suites.
+verify-faults:
+	$(PYTHON) -m pytest tests/faults tests/harness/test_runner_resilience.py -q
+	$(PYTHON) -m repro.cli faults --audit
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py

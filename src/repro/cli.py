@@ -7,6 +7,9 @@ Subcommands:
 * ``experiment ID`` — regenerate a paper table/figure (see ``list``).
 * ``list`` — list applications, policies, and experiments.
 * ``characterize APP`` — print the Section IV object characterization.
+* ``faults APP [--plan NAME|JSON|@FILE]`` — compare a healthy run
+  against the same run under an injected fault plan; ``--audit`` runs
+  the machine-invariant audit instead.
 """
 
 from __future__ import annotations
@@ -48,9 +51,34 @@ def _build_config(args):
     return baseline_config(**kwargs)
 
 
+def _resolve_fault_plan(raw, config, trace=None):
+    """Turn a ``--fault-plan`` value into a :class:`FaultPlan`.
+
+    Accepts a preset name (see ``repro.faults.PRESETS``), an inline JSON
+    spec (starts with ``{``), or ``@path/to/plan.json``.
+    """
+    from repro.faults import PRESETS, FaultPlan, preset_plan
+
+    raw = raw.strip()
+    if raw.startswith("@"):
+        raw = Path(raw[1:]).read_text().strip()
+    if raw.startswith("{"):
+        return FaultPlan.from_spec(raw)
+    if raw in PRESETS:
+        return preset_plan(raw, config, trace)
+    known = ", ".join(sorted(PRESETS))
+    raise SystemExit(
+        f"unknown fault plan {raw!r}: expected a preset ({known}), "
+        "inline JSON, or @file.json"
+    )
+
+
 def cmd_simulate(args) -> int:
     config = _build_config(args)
     trace = get_workload(args.app, config, footprint_mb=args.footprint_mb)
+    if getattr(args, "fault_plan", None):
+        plan = _resolve_fault_plan(args.fault_plan, config, trace)
+        config = config.replace(fault_plan=plan)
     results = {}
     for name in args.policy:
         results[name] = simulate(config, trace, make_policy(name))
@@ -67,6 +95,52 @@ def cmd_simulate(args) -> int:
         [(name, r.speedup_over(baseline)) for name, r in results.items()],
         reference=1.0,
     ))
+    if config.fault_plan is not None:
+        print("resilience counters:")
+        for name, r in results.items():
+            summary = r.resilience_summary()
+            if summary:
+                rendered = ", ".join(
+                    f"{k}={int(v)}" for k, v in summary.items()
+                )
+                print(f"  {name}: {rendered}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Healthy-vs-faulted comparison, or the invariant audit."""
+    if args.audit:
+        from repro.faults import audit
+
+        report = audit.run_audit()
+        print(f"invariant audit: {report['checks']} checks")
+        if report["violations"]:
+            for violation in report["violations"]:
+                print(f"  VIOLATION {violation}")
+            return 1
+        print("  all invariants hold")
+        return 0
+
+    config = _build_config(args)
+    trace = get_workload(args.app, config, footprint_mb=args.footprint_mb)
+    plan = _resolve_fault_plan(args.plan, config, trace)
+    faulted_config = config.replace(fault_plan=plan)
+    policies = args.policy or ["oasis"]
+    print(f"fault plan {plan.digest()} on {args.app} "
+          f"(first fault at phase {plan.first_fault_phase})")
+    print(f"{'policy':<16s} {'healthy(ms)':>12s} {'faulted(ms)':>12s} "
+          f"{'slowdown':>9s} {'retries':>8s} {'fallbk':>7s} "
+          f"{'reroute':>8s} {'retired':>8s}")
+    for name in policies:
+        healthy = simulate(config, trace, make_policy(name))
+        faulted = simulate(faulted_config, trace, make_policy(name))
+        slowdown = faulted.total_time_ns / healthy.total_time_ns
+        print(f"{name:<16s} {healthy.total_time_ns / 1e6:>12.2f} "
+              f"{faulted.total_time_ns / 1e6:>12.2f} {slowdown:>8.2f}x "
+              f"{int(faulted.migration_retries):>8d} "
+              f"{int(faulted.migration_fallbacks):>7d} "
+              f"{int(faulted.reroutes):>8d} "
+              f"{int(faulted.retired_pages):>8d}")
     return 0
 
 
@@ -113,6 +187,11 @@ def cmd_list(_args) -> int:
 def cmd_sweep(args) -> int:
     _configure_runner(args)
     config = _build_config(args)
+    if getattr(args, "fault_plan", None):
+        # One plan across many apps: resolved without a trace, so
+        # trace-dependent presets (e.g. retired-pages) are rejected here.
+        plan = _resolve_fault_plan(args.fault_plan, config, trace=None)
+        config = config.replace(fault_plan=plan)
     apps = (
         [a.strip() for a in args.apps.split(",") if a.strip()]
         if args.apps else list(APPLICATION_ORDER)
@@ -167,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--distributed", action="store_true")
     sim.add_argument("--oversubscription", type=float, default=None)
     sim.add_argument("--reset-threshold", type=int, default=None)
+    sim.add_argument("--fault-plan", default=None, dest="fault_plan",
+                     help="inject faults: preset name, inline JSON, or "
+                          "@file.json (see 'faults' subcommand)")
     sim.set_defaults(func=cmd_simulate)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -195,10 +277,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for independent runs")
     swp.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="skip the persistent result cache")
+    swp.add_argument("--fault-plan", default=None, dest="fault_plan",
+                     help="inject faults into every run: preset name, "
+                          "inline JSON, or @file.json (trace-dependent "
+                          "presets are not accepted here)")
     swp.set_defaults(func=cmd_sweep)
 
     lst = sub.add_parser("list", help="list apps, policies, experiments")
     lst.set_defaults(func=cmd_list)
+
+    flt = sub.add_parser(
+        "faults",
+        help="compare healthy vs fault-injected runs, or audit invariants",
+    )
+    flt.add_argument("app", nargs="?", default="st",
+                     choices=sorted(APPLICATIONS))
+    flt.add_argument("--policy", action="append",
+                     choices=sorted(POLICY_FACTORIES),
+                     help="repeatable (default: oasis)")
+    flt.add_argument("--plan", default="degraded-link",
+                     help="preset name, inline JSON, or @file.json "
+                          "(default: degraded-link)")
+    flt.add_argument("--gpus", type=int, default=None)
+    flt.add_argument("--footprint-mb", type=float, default=None,
+                     dest="footprint_mb")
+    flt.add_argument("--audit", action="store_true",
+                     help="run the machine-invariant audit instead of a "
+                          "comparison")
+    flt.set_defaults(func=cmd_faults)
 
     cha = sub.add_parser("characterize", help="Section IV object analysis")
     cha.add_argument("app", choices=sorted(APPLICATIONS))

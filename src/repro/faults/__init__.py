@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the simulated multi-GPU system.
+
+Three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the frozen, hashable
+  description of what to inject (link degradations/severs, ECC page
+  retirements, transient migration failures).  Part of
+  ``SystemConfig`` and therefore of the result cache key.
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, the runtime that
+  applies a plan to one machine and answers the driver's per-operation
+  gating queries.
+* :mod:`repro.faults.audit` — property-style invariant audit asserting
+  page-table/capacity/TLB consistency after randomized primitive
+  sequences, with and without injected faults (import it explicitly:
+  ``from repro.faults import audit``).
+
+Presets for the CLI live in :mod:`repro.faults.presets`.
+"""
+
+from repro.faults.inject import FaultInjector, MigrationVerdict
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFault,
+    MigrationFlake,
+    PageRetirement,
+)
+from repro.faults.presets import PRESETS, preset_plan
+
+__all__ = [
+    "PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "MigrationFlake",
+    "MigrationVerdict",
+    "PageRetirement",
+    "preset_plan",
+]

@@ -1,0 +1,218 @@
+"""Runtime fault injection: applies a :class:`FaultPlan` to one machine.
+
+The :class:`FaultInjector` is the single mutable object behind a plan.
+The machine calls :meth:`FaultInjector.start_phase` at every phase
+boundary to apply scheduled link faults and page retirements; the UVM
+driver consults :meth:`gate_migration` / :meth:`is_retired` before
+installing data on a GPU, and the machine consults :meth:`is_degraded`
+to keep servicing zero-copy fallback pages without re-entering the
+policy.
+
+Everything the injector does is deterministic: scheduled events fire at
+fixed phase indices and transient failures draw from one
+``random.Random(plan.seed)`` stream consumed in replay order.  Because
+the replay order is itself deterministic (and the fast path is disabled
+from the first fault phase on — see :mod:`repro.sim.fastpath`), a run
+under a fault plan is exactly reproducible and bit-identical between the
+vectorized and per-record replay paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config import HOST
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import StatCounters
+    from repro.interconnect import Topology
+    from repro.memory import CapacityManager, PageTables
+    from repro.uvm.driver import UVMDriver
+
+
+@dataclass
+class MigrationVerdict:
+    """Outcome of gating one migration against the active plan."""
+
+    #: False when the driver must degrade to a zero-copy remote mapping.
+    proceed: bool
+    #: Transient attempts that failed before success/giving up.
+    retries: int = 0
+    #: Simulated exponential-backoff latency accumulated by the retries.
+    backoff_ns: float = 0.0
+    #: Why the migration was blocked ("" when it proceeds).
+    reason: str = ""
+
+
+_ALLOW = MigrationVerdict(proceed=True)
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a running machine."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        topology: "Topology",
+        page_tables: "PageTables",
+        capacity: "CapacityManager",
+        stats: "StatCounters",
+        n_gpus: int,
+    ) -> None:
+        self.plan = plan
+        self.topology = topology
+        self.page_tables = page_tables
+        self.capacity = capacity
+        self.stats = stats
+        self.n_gpus = n_gpus
+        self._rng = random.Random(plan.seed)
+        self._phase = -1
+        self._pending_links = list(plan.link_faults)
+        self._pending_retirements = list(plan.page_retirements)
+        #: (gpu, page) frames flagged bad — can never hold data again.
+        self._retired: set[tuple[int, int]] = set()
+        #: (gpu, page) mappings degraded to zero-copy after a failed
+        #: migration; the machine services their remote accesses without
+        #: re-entering the policy.
+        self._degraded: set[tuple[int, int]] = set()
+        self._validate()
+
+    def _validate(self) -> None:
+        for event in self.plan.link_faults:
+            # Raises ValueError for unknown pairs (e.g. GPU id >= n_gpus).
+            self.topology.link(event.a, event.b)
+        for event in self.plan.page_retirements:
+            if event.gpu >= self.n_gpus:
+                raise ValueError(
+                    f"cannot retire a frame on GPU {event.gpu}: "
+                    f"only {self.n_gpus} GPUs configured"
+                )
+        for flake in self.plan.migration_flakes:
+            for gpu in flake.gpus:
+                if not 0 <= gpu < self.n_gpus:
+                    raise ValueError(f"flake names unknown GPU {gpu}")
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def first_fault_phase(self) -> int:
+        """Phase index of the earliest scheduled event."""
+        first = self.plan.first_fault_phase
+        return 0 if first is None else first
+
+    def fast_path_allowed(self, phase_index: int) -> bool:
+        """True while no fault has activated yet (bulk replay is exact)."""
+        return phase_index < self.first_fault_phase
+
+    def start_phase(self, phase_index: int, now: float, driver: "UVMDriver") -> None:
+        """Apply every event scheduled at (or before) ``phase_index``.
+
+        Page-retirement relocations are real driver work: their service
+        time is submitted to the driver FIFO at ``now`` so a retirement
+        storm shows up as driver busy time in the phase breakdown.
+        """
+        self._phase = phase_index
+        for event in [e for e in self._pending_links if e.phase <= phase_index]:
+            self._pending_links.remove(event)
+            self.topology.apply_link_fault(event.a, event.b, event.bandwidth_factor)
+            if event.severed:
+                self.stats.add("fault_inject.link_severed")
+            else:
+                self.stats.add("fault_inject.link_degraded")
+        for event in [
+            e for e in self._pending_retirements if e.phase <= phase_index
+        ]:
+            self._pending_retirements.remove(event)
+            self._retire(event.gpu, event.page, now, driver)
+
+    def _retire(self, gpu: int, page: int, now: float, driver: "UVMDriver") -> None:
+        self._retired.add((gpu, page))
+        self.capacity.mark_retired(gpu, page)
+        self.stats.add("fault_inject.page_retired")
+        pt = self.page_tables
+        try:
+            has_copy = pt.has_copy(gpu, page)
+        except IndexError:
+            self.stats.add("fault_inject.retired_untracked")
+            return
+        if has_copy:
+            # The ECC scrubber found the frame bad while occupied: the
+            # driver relocates the data (ownership handoff to another
+            # holder, or writeback to host for a sole copy).
+            service = driver.evict_from(gpu, page)
+            driver.queue.submit(now, service)
+            self.stats.add("fault_inject.retired_relocations")
+
+    # -- per-operation queries ---------------------------------------------
+
+    def is_retired(self, gpu: int, page: int) -> bool:
+        """True when ``gpu``'s frame for ``page`` is ECC-retired."""
+        return (gpu, page) in self._retired
+
+    def note_degraded(self, gpu: int, page: int) -> None:
+        """Record that (gpu, page) fell back to a zero-copy mapping."""
+        self._degraded.add((gpu, page))
+
+    def is_degraded(self, gpu: int, page: int) -> bool:
+        """True when (gpu, page) is being served zero-copy after a fault."""
+        return (gpu, page) in self._degraded
+
+    def clear_degraded(self, gpu: int, page: int) -> None:
+        """Drop the zero-copy flag (a later install succeeded)."""
+        self._degraded.discard((gpu, page))
+
+    def gate_migration(self, gpu: int, page: int) -> MigrationVerdict:
+        """Decide whether a data-moving install on ``gpu`` may proceed.
+
+        Checks, in order: a retired destination frame (permanent — no
+        retry can help), then transient migration failures with bounded
+        exponential-backoff retries.  The returned verdict carries the
+        simulated backoff latency so the driver can charge it to the
+        faulting GPU.
+        """
+        if (gpu, page) in self._retired:
+            return MigrationVerdict(proceed=False, reason="retired")
+        flakes = [
+            f
+            for f in self.plan.migration_flakes
+            if f.phase <= self._phase and f.applies_to(gpu)
+        ]
+        if not flakes:
+            return _ALLOW
+        fail_rate = 1.0
+        for flake in flakes:
+            fail_rate *= 1.0 - flake.rate
+        fail_rate = 1.0 - fail_rate
+        if fail_rate <= 0.0:
+            return _ALLOW
+        backoff = 0.0
+        for attempt in range(self.plan.max_retries + 1):
+            if self._rng.random() >= fail_rate:
+                return MigrationVerdict(
+                    proceed=True, retries=attempt, backoff_ns=backoff
+                )
+            if attempt < self.plan.max_retries:
+                backoff += self.plan.backoff_base_ns * (2.0 ** attempt)
+        return MigrationVerdict(
+            proceed=False,
+            retries=self.plan.max_retries,
+            backoff_ns=backoff,
+            reason="flake",
+        )
+
+    def destination_reachable(self, src: int, dst: int) -> bool:
+        """True when data can still flow ``src`` → ``dst`` (any route)."""
+        return self.topology.reachable(src, dst)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """The injection/resilience counters accumulated so far."""
+        return {
+            key: value
+            for key, value in self.stats.items()
+            if key.startswith(("fault_inject.", "driver."))
+        }

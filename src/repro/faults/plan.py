@@ -1,0 +1,230 @@
+"""Declarative fault plans for the simulated multi-GPU system.
+
+A :class:`FaultPlan` is a frozen, hashable description of every fault the
+simulator should inject into one run: link degradations/severs, page
+(frame) retirements, and transient migration failures.  Because the plan
+is part of :class:`~repro.config.SystemConfig` (and therefore of the
+result cache key), two runs differing only in their fault plan can never
+read each other's cached results.
+
+The plan is *declarative*: it never touches simulator state itself.  The
+runtime counterpart, :class:`repro.faults.inject.FaultInjector`, applies
+events at phase boundaries and answers per-operation queries from the UVM
+driver.  Everything is deterministic — transient failures draw from a
+``random.Random(seed)`` stream that is consumed in replay order, so the
+same (config, trace, policy, plan) always produces the same injected
+faults.
+
+Device ids follow the simulator convention: GPUs are ``0..n_gpus-1`` and
+``-1`` is the host CPU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+#: Host device id (mirrors ``repro.config.HOST`` without importing it —
+#: this module must stay import-free so ``config`` can reference plans).
+_HOST = -1
+
+
+def _freeze(value):
+    """Normalize lists (e.g. parsed JSON) into hashable tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade or sever the link between devices ``a`` and ``b``.
+
+    Activates at the start of phase ``phase``.  ``bandwidth_factor``
+    scales the link's bandwidth: ``0.0`` (the default) severs the link
+    outright, forcing transfers to reroute through an intermediate
+    device or fail.
+    """
+
+    a: int
+    b: int
+    phase: int = 0
+    bandwidth_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a link joins two distinct devices")
+        if not 0.0 <= self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in [0, 1]")
+        if self.phase < 0:
+            raise ValueError("phase must be non-negative")
+
+    @property
+    def severed(self) -> bool:
+        return self.bandwidth_factor == 0.0
+
+
+@dataclass(frozen=True)
+class PageRetirement:
+    """Retire ``page``'s frame on ``gpu`` (ECC-flagged) at ``phase``.
+
+    From that phase on the GPU can never hold the page's data again: any
+    resident copy is relocated when the retirement activates, and later
+    migrations/duplications targeting the retired frame degrade to a
+    zero-copy remote mapping.
+    """
+
+    gpu: int
+    page: int
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise ValueError("only GPU frames can be retired")
+        if self.phase < 0:
+            raise ValueError("phase must be non-negative")
+
+
+@dataclass(frozen=True)
+class MigrationFlake:
+    """Transient migration failures from ``phase`` on.
+
+    Each affected migration attempt independently fails with probability
+    ``rate`` (drawn from the plan's seeded stream).  ``gpus`` restricts
+    the flake to migrations *into* the listed GPUs; empty means all.
+    """
+
+    rate: float
+    phase: int = 0
+    gpus: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.phase < 0:
+            raise ValueError("phase must be non-negative")
+        object.__setattr__(self, "gpus", _freeze(self.gpus))
+
+    def applies_to(self, gpu: int) -> bool:
+        return not self.gpus or gpu in self.gpus
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault injected into one simulation run.
+
+    Frozen and hashable so it can ride inside ``SystemConfig`` and the
+    two-level result cache key.  An empty plan (the default) is inert:
+    the machine skips injector construction entirely and the run is
+    bit-identical to a plan-free run.
+    """
+
+    link_faults: tuple[LinkFault, ...] = ()
+    page_retirements: tuple[PageRetirement, ...] = ()
+    migration_flakes: tuple[MigrationFlake, ...] = ()
+    #: Seed of the deterministic stream transient failures draw from.
+    seed: int = 0
+    #: Migration attempts beyond the first before degrading to a
+    #: zero-copy remote mapping.
+    max_retries: int = 3
+    #: Simulated backoff before retry ``k`` is ``backoff_base_ns * 2**k``.
+    backoff_base_ns: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "link_faults", _freeze(self.link_faults))
+        object.__setattr__(
+            self, "page_retirements", _freeze(self.page_retirements)
+        )
+        object.__setattr__(
+            self, "migration_flakes", _freeze(self.migration_flakes)
+        )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_ns < 0:
+            raise ValueError("backoff_base_ns must be non-negative")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (
+            self.link_faults or self.page_retirements or self.migration_flakes
+        )
+
+    @property
+    def events(self) -> tuple:
+        """All scheduled events, in declaration order."""
+        return (
+            *self.link_faults,
+            *self.page_retirements,
+            *self.migration_flakes,
+        )
+
+    @property
+    def first_fault_phase(self) -> int | None:
+        """Earliest phase any event activates, or None when empty."""
+        phases = [event.phase for event in self.events]
+        return min(phases) if phases else None
+
+    def digest(self) -> str:
+        """Short content hash identifying the plan (for reports/logs)."""
+        blob = json.dumps(self.to_spec(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """JSON-serializable spec; inverse of :meth:`from_spec`."""
+        return {
+            "link_faults": [
+                {
+                    "a": f.a,
+                    "b": f.b,
+                    "phase": f.phase,
+                    "bandwidth_factor": f.bandwidth_factor,
+                }
+                for f in self.link_faults
+            ],
+            "page_retirements": [
+                {"gpu": r.gpu, "page": r.page, "phase": r.phase}
+                for r in self.page_retirements
+            ],
+            "migration_flakes": [
+                {"rate": m.rate, "phase": m.phase, "gpus": list(m.gpus)}
+                for m in self.migration_flakes
+            ],
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+            "backoff_base_ns": self.backoff_base_ns,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict | str) -> "FaultPlan":
+        """Build a plan from a spec dict or its JSON encoding."""
+        if isinstance(spec, str):
+            spec = json.loads(spec)
+        if not isinstance(spec, dict):
+            raise ValueError("fault-plan spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(
+            link_faults=tuple(
+                LinkFault(**f) for f in spec.get("link_faults", ())
+            ),
+            page_retirements=tuple(
+                PageRetirement(**r) for r in spec.get("page_retirements", ())
+            ),
+            migration_flakes=tuple(
+                MigrationFlake(**m) for m in spec.get("migration_flakes", ())
+            ),
+            seed=spec.get("seed", 0),
+            max_retries=spec.get("max_retries", 3),
+            backoff_base_ns=spec.get("backoff_base_ns", 1_000.0),
+        )

@@ -1,0 +1,88 @@
+"""Named fault-plan presets for the CLI and quick experiments.
+
+Each preset is a recipe that, given the run's configuration and trace,
+produces a concrete :class:`~repro.faults.plan.FaultPlan`.  Presets that
+retire pages need the trace (page numbers are trace-relative), which is
+why these are functions rather than constants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFault,
+    MigrationFlake,
+    PageRetirement,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SystemConfig
+    from repro.workloads.base import Trace
+
+#: Host device id (mirrors repro.config.HOST).
+_HOST = -1
+
+
+def _degraded_link(config, trace) -> FaultPlan:
+    """GPU0-GPU1 NVLink drops to 25% bandwidth from phase 1."""
+    return FaultPlan(
+        link_faults=(LinkFault(a=0, b=1, phase=1, bandwidth_factor=0.25),)
+    )
+
+
+def _severed_link(config, trace) -> FaultPlan:
+    """GPU0-GPU1 NVLink dies outright from phase 1 (reroute via host)."""
+    return FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=1),))
+
+
+def _degraded_pcie(config, trace) -> FaultPlan:
+    """GPU0's host link drops to half bandwidth from phase 0."""
+    return FaultPlan(
+        link_faults=(LinkFault(a=_HOST, b=0, phase=0, bandwidth_factor=0.5),)
+    )
+
+
+def _flaky_migrations(config, trace) -> FaultPlan:
+    """5% of migrations transiently fail (retried with backoff)."""
+    return FaultPlan(migration_flakes=(MigrationFlake(rate=0.05, phase=0),))
+
+
+def _retired_pages(config, trace) -> FaultPlan:
+    """ECC retires GPU0's frames for the first 16 pages of the largest
+    object at phase 1 (forcing relocation + permanent zero-copy)."""
+    if trace is None:
+        raise ValueError(
+            "preset 'retired-pages' retires trace-relative pages and "
+            "needs a concrete trace; it cannot be applied trace-free "
+            "(e.g. across a sweep)"
+        )
+    obj = max(trace.objects, key=lambda o: o.n_pages)
+    pages = range(obj.first_page, obj.first_page + min(16, obj.n_pages))
+    return FaultPlan(
+        page_retirements=tuple(
+            PageRetirement(gpu=0, page=page, phase=1) for page in pages
+        )
+    )
+
+
+PRESETS = {
+    "degraded-link": _degraded_link,
+    "severed-link": _severed_link,
+    "degraded-pcie": _degraded_pcie,
+    "flaky-migrations": _flaky_migrations,
+    "retired-pages": _retired_pages,
+}
+
+
+def preset_plan(
+    name: str, config: "SystemConfig", trace: "Trace | None" = None
+) -> FaultPlan:
+    """Build the named preset for one concrete (config, trace) pair."""
+    try:
+        recipe = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown fault preset {name!r}; known: {known}") from None
+    return recipe(config, trace)

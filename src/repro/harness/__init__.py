@@ -12,6 +12,7 @@ from repro.harness.diskcache import DiskCache
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import ExperimentResult, format_table, geomean
 from repro.harness.runner import (
+    RunFailure,
     cache_stats,
     clear_cache,
     configure,
@@ -24,6 +25,7 @@ __all__ = [
     "EXPERIMENTS",
     "DiskCache",
     "ExperimentResult",
+    "RunFailure",
     "cache_stats",
     "clear_cache",
     "configure",

@@ -12,6 +12,13 @@ under ``results/cache/`` (override with ``REPRO_CACHE_DIR``).
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing on the same key at worst both compute it; neither can observe a
 half-written file.
+
+Every entry carries a content checksum over its result payload.  A load
+that finds a truncated, unparsable, mislabeled or checksum-mismatched
+file treats it as a miss, moves the file into ``<root>/quarantine/`` for
+post-mortem inspection, and counts it in :meth:`DiskCache.stats` — a
+corrupted cache (killed worker mid-write on a non-atomic filesystem,
+bit rot, manual tampering) can never crash a sweep or serve wrong data.
 """
 
 from __future__ import annotations
@@ -60,6 +67,12 @@ def cache_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def _result_checksum(result_dict: dict) -> str:
+    """Content checksum of one serialized result."""
+    blob = json.dumps(result_dict, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 class DiskCache:
     """One directory of content-addressed simulation results."""
 
@@ -69,24 +82,56 @@ class DiskCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directory listings manageable.
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is inspectable but inert."""
+        self.quarantined += 1
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Can't move it (e.g. racing worker already did, or read-only
+            # store): the load already counted the miss; nothing to do.
+            pass
+
     def load(self, key: str) -> SimulationResult | None:
-        """The stored result for ``key``, or None on miss/corruption."""
+        """The stored result for ``key``, or None on miss/corruption.
+
+        Corrupt entries — truncated or unparsable JSON, missing fields,
+        a key that does not match the filename, or a checksum mismatch —
+        are quarantined rather than raised: a damaged cache degrades to
+        recomputation, never to a crashed or wrong-answer sweep.
+        """
         path = self._path(key)
         try:
             with path.open() as fh:
                 payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, EOFError):
+            self.misses += 1
+            self._quarantine(path)
+            return None
+        except OSError:
             self.misses += 1
             return None
         try:
-            result = SimulationResult.from_dict(payload["result"])
-        except (KeyError, TypeError):
+            if payload["key"] != key:
+                raise ValueError("entry key does not match its filename")
+            result_dict = payload["result"]
+            if payload["checksum"] != _result_checksum(result_dict):
+                raise ValueError("checksum mismatch")
+            result = SimulationResult.from_dict(result_dict)
+        except (KeyError, TypeError, ValueError):
             self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
@@ -95,10 +140,12 @@ class DiskCache:
         """Persist ``result`` under ``key`` atomically; returns the path."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_dict = result.to_dict()
         payload = {
             "key": key,
             "simulator_version": SIMULATOR_VERSION,
-            "result": result.to_dict(),
+            "checksum": _result_checksum(result_dict),
+            "result": result_dict,
         }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -116,4 +163,8 @@ class DiskCache:
         return path
 
     def stats(self) -> dict[str, int]:
-        return {"disk_hits": self.hits, "disk_misses": self.misses}
+        return {
+            "disk_hits": self.hits,
+            "disk_misses": self.misses,
+            "disk_quarantined": self.quarantined,
+        }

@@ -16,13 +16,25 @@ simulation results are memoized at two levels:
 Independent runs can also be computed in parallel across worker
 processes with :func:`run_sims_parallel`; :func:`speedup_table` uses it
 to pre-warm the caches when ``jobs > 1``.
+
+The parallel path is crash-tolerant: each run has a bounded number of
+attempts with exponential backoff, a per-run wall-clock timeout, and a
+dying worker process takes down only its own run — the pool is rebuilt,
+innocent in-flight runs are re-dispatched without penalty, and after
+repeated pool failures the remaining work degrades to in-process serial
+execution.  A run that still cannot complete yields a structured
+:class:`RunFailure` in its result slot instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback as _traceback
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro import POLICY_FACTORIES, make_policy
 from repro.config import SystemConfig
@@ -34,8 +46,20 @@ from repro.workloads import get_workload
 #: Default cap on in-process memoized results.
 DEFAULT_CACHE_SIZE = 256
 
+#: Default attempts per run in :func:`run_sims_parallel` (1 = no retry).
+DEFAULT_MAX_ATTEMPTS = 2
+
+#: Pool rebuilds tolerated before degrading to in-process execution.
+DEFAULT_POOL_FAILURE_LIMIT = 2
+
 _CACHE: OrderedDict[tuple, SimulationResult] = OrderedDict()
-_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "evictions": 0,
+    "run_retries": 0,
+    "pool_failures": 0,
+}
 _DISK: DiskCache | None = (
     DiskCache() if os.environ.get("REPRO_DISK_CACHE", "").strip() not in ("", "0")
     else None
@@ -81,10 +105,11 @@ def configure(
 def clear_cache() -> None:
     """Drop all in-process memoized results and reset counters."""
     _CACHE.clear()
-    _STATS.update(hits=0, misses=0, evictions=0)
+    _STATS.update({key: 0 for key in _STATS})
     if _DISK is not None:
         _DISK.hits = 0
         _DISK.misses = 0
+        _DISK.quarantined = 0
 
 
 def cache_stats() -> dict[str, int]:
@@ -95,6 +120,7 @@ def cache_stats() -> dict[str, int]:
         **_STATS,
         "disk_hits": 0,
         "disk_misses": 0,
+        "disk_quarantined": 0,
     }
     if _DISK is not None:
         stats.update(_DISK.stats())
@@ -155,6 +181,39 @@ def run_sim(
 # -- parallel execution ----------------------------------------------------
 
 
+@dataclass
+class RunFailure:
+    """Structured diagnosis of one run that could not be completed.
+
+    :func:`run_sims_parallel` puts one of these in the failed run's
+    result slot instead of aborting the sweep — a 55-run sweep with one
+    poisoned run yields 54 results plus one ``RunFailure``.
+    """
+
+    app: str
+    policy: str
+    footprint_mb: float | None = None
+    seed: int = 0
+    policy_kwargs: dict = field(default_factory=dict)
+    #: Exception class name (``"TimeoutError"``, ``"WorkerCrash"``, ...).
+    error_type: str = ""
+    message: str = ""
+    #: Attempts consumed before giving up.
+    attempts: int = 0
+    traceback: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return (
+            f"FAILED {self.app}/{self.policy} (seed={self.seed}): "
+            f"{self.error_type}: {self.message} "
+            f"[{self.attempts} attempt(s)]"
+        )
+
+
 def _normalize_request(request) -> dict:
     if isinstance(request, dict):
         spec = dict(request)
@@ -169,10 +228,18 @@ def _normalize_request(request) -> dict:
     return spec
 
 
-def _worker(payload: tuple) -> SimulationResult:
-    spec, disk_enabled, disk_root = payload
-    if disk_enabled and _DISK is None:
-        configure(disk_cache=True, cache_dir=disk_root)
+def _spec_key(spec: dict) -> tuple:
+    return (
+        spec["config"],
+        spec["app"],
+        spec["policy"],
+        spec["footprint_mb"],
+        spec["seed"],
+        tuple(sorted(spec["policy_kwargs"].items())),
+    )
+
+
+def _run_spec(spec: dict) -> SimulationResult:
     return run_sim(
         spec["config"],
         spec["app"],
@@ -183,7 +250,270 @@ def _worker(payload: tuple) -> SimulationResult:
     )
 
 
-def run_sims_parallel(requests, jobs: int | None = None) -> list[SimulationResult]:
+def _runner_config() -> dict:
+    """Snapshot of the runner settings a worker process must inherit.
+
+    With the ``fork`` start method workers inherit parent state anyway,
+    but ``spawn`` (and a worker forked before a later ``configure()``
+    call) starts from module defaults — so the full configuration rides
+    in every payload.
+    """
+    return {
+        "jobs": _JOBS,
+        "disk_enabled": _DISK is not None,
+        "disk_root": str(_DISK.root) if _DISK is not None else None,
+        "cache_size": _cache_capacity(),
+    }
+
+
+def _apply_runner_config(cfg: dict) -> None:
+    os.environ["REPRO_RUNNER_CACHE_SIZE"] = str(cfg["cache_size"])
+    configure(
+        jobs=cfg["jobs"],
+        disk_cache=cfg["disk_enabled"],
+        cache_dir=cfg["disk_root"] if cfg["disk_enabled"] else None,
+    )
+
+
+def _maybe_fault_hook(spec: dict) -> None:
+    """Honor the harness's own fault hooks (for resilience self-tests).
+
+    ``REPRO_HARNESS_CRASH="app:policy@/path/sentinel"`` hard-kills the
+    worker (``os._exit``) the first time it runs that spec; the sentinel
+    file makes the crash one-shot so the retry can succeed.  Omitting
+    ``@sentinel`` crashes every attempt (a deterministically poisoned
+    run).  ``REPRO_HARNESS_HANG`` sleeps instead, exercising the per-run
+    timeout path.
+    """
+    for env, action in (
+        ("REPRO_HARNESS_CRASH", "crash"),
+        ("REPRO_HARNESS_HANG", "hang"),
+    ):
+        raw = os.environ.get(env, "").strip()
+        if not raw:
+            continue
+        target, _, sentinel = raw.partition("@")
+        if target != f"{spec['app']}:{spec['policy']}":
+            continue
+        if sentinel:
+            if os.path.exists(sentinel):
+                continue
+            with open(sentinel, "w"):
+                pass
+        if action == "crash":
+            os._exit(13)
+        time.sleep(3600.0)
+
+
+def _worker(payload: tuple) -> SimulationResult:
+    spec, runner_cfg = payload
+    if runner_cfg is not None:
+        _apply_runner_config(runner_cfg)
+        _maybe_fault_hook(spec)
+    return _run_spec(spec)
+
+
+def _failure_from(spec: dict, attempts: int, exc: BaseException | None,
+                  error_type: str = "", message: str = "") -> RunFailure:
+    if exc is not None:
+        error_type = type(exc).__name__
+        message = str(exc)
+        tb = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    else:
+        tb = ""
+    return RunFailure(
+        app=spec["app"],
+        policy=spec["policy"],
+        footprint_mb=spec["footprint_mb"],
+        seed=spec["seed"],
+        policy_kwargs=dict(spec["policy_kwargs"]),
+        error_type=error_type,
+        message=message,
+        attempts=attempts,
+        traceback=tb,
+    )
+
+
+#: Exception classes worth retrying: environmental, not deterministic.
+_RETRYABLE = (OSError, EOFError, MemoryError)
+
+
+def _retry_backoff(attempt: int) -> None:
+    base = 0.05
+    raw = os.environ.get("REPRO_RETRY_BACKOFF_S", "").strip()
+    if raw:
+        try:
+            base = max(0.0, float(raw))
+        except ValueError:
+            pass
+    if base:
+        time.sleep(base * (2.0 ** max(0, attempt - 1)))
+
+
+def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a (possibly wedged) pool down hard, killing stray workers."""
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+
+
+def _drain_pool(
+    pending: dict,
+    n_jobs: int,
+    timeout_s: float | None,
+    max_attempts: int,
+    pool_failure_limit: int,
+    fresh: dict,
+    precounted: set,
+    failures: dict,
+) -> None:
+    """Compute every ``pending`` run with crash/timeout isolation.
+
+    Fills ``fresh`` (key → result) and ``failures`` (key → RunFailure).
+    Keys computed in-process after a pool degradation land in
+    ``precounted`` (their cache miss is already accounted).
+    """
+    runner_cfg = _runner_config()
+    queue: deque = deque(pending.items())
+    attempts = {key: 0 for key in pending}
+    pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=n_jobs)
+    pool_failures = 0
+    inflight: dict = {}
+    try:
+        while queue or inflight:
+            broken = False
+            while not broken and queue and len(inflight) < n_jobs:
+                key, spec = queue.popleft()
+                attempts[key] += 1
+                try:
+                    future = pool.submit(_worker, (spec, runner_cfg))
+                except Exception:
+                    attempts[key] -= 1
+                    queue.appendleft((key, spec))
+                    broken = True
+                    break
+                deadline = (
+                    time.monotonic() + timeout_s if timeout_s else None
+                )
+                inflight[future] = (key, spec, deadline)
+            if not broken and inflight:
+                wait_timeout = None
+                deadlines = [
+                    d for (_, _, d) in inflight.values() if d is not None
+                ]
+                if deadlines:
+                    wait_timeout = max(
+                        0.01, min(deadlines) - time.monotonic()
+                    )
+                done, _ = wait(
+                    set(inflight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    key, spec, _deadline = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The dead worker poisoned every in-flight future;
+                        # the culprit cannot be attributed, so nobody is
+                        # charged an attempt — termination is bounded by
+                        # the pool-failure limit instead.
+                        broken = True
+                        attempts[key] -= 1
+                        queue.append((key, spec))
+                        continue
+                    except Exception as exc:
+                        if (
+                            isinstance(exc, _RETRYABLE)
+                            and attempts[key] < max_attempts
+                        ):
+                            _STATS["run_retries"] += 1
+                            _retry_backoff(attempts[key])
+                            queue.append((key, spec))
+                        else:
+                            failures[key] = _failure_from(
+                                spec, attempts[key], exc
+                            )
+                        continue
+                    fresh[key] = result
+                    _remember(key, result)
+                now = time.monotonic()
+                expired = [
+                    f
+                    for f, (_, _, d) in inflight.items()
+                    if d is not None and d <= now
+                ]
+                for future in expired:
+                    # A hung run: the only way to reclaim its worker is
+                    # to tear the whole pool down.
+                    broken = True
+                    key, spec, _deadline = inflight.pop(future)
+                    if attempts[key] < max_attempts:
+                        _STATS["run_retries"] += 1
+                        queue.append((key, spec))
+                    else:
+                        failures[key] = _failure_from(
+                            spec,
+                            attempts[key],
+                            None,
+                            error_type="TimeoutError",
+                            message=f"run exceeded {timeout_s}s wall clock",
+                        )
+            if broken:
+                for future, (key, spec, _deadline) in inflight.items():
+                    # Innocent victims of the rebuild: no attempt charged.
+                    attempts[key] -= 1
+                    queue.append((key, spec))
+                inflight.clear()
+                _teardown_pool(pool)
+                _STATS["pool_failures"] += 1
+                pool_failures += 1
+                if pool_failures > pool_failure_limit:
+                    pool = None
+                    break
+                pool = ProcessPoolExecutor(max_workers=n_jobs)
+    finally:
+        if pool is not None:
+            _teardown_pool(pool)
+    if pool is None and (queue or inflight):
+        # The pool keeps dying: finish the remaining work in-process.
+        # (Timeouts cannot be enforced without process isolation.)
+        for key, spec in list(inflight.values()):
+            queue.append((key, spec))
+        while queue:
+            key, spec = queue.popleft()
+            attempts[key] += 1
+            try:
+                result = _run_spec(spec)
+            except Exception as exc:
+                if isinstance(exc, _RETRYABLE) and attempts[key] < max_attempts:
+                    _STATS["run_retries"] += 1
+                    _retry_backoff(attempts[key])
+                    queue.append((key, spec))
+                else:
+                    failures[key] = _failure_from(spec, attempts[key], exc)
+                continue
+            fresh[key] = result
+            precounted.add(key)
+
+
+def run_sims_parallel(
+    requests,
+    jobs: int | None = None,
+    *,
+    timeout_s: float | None = None,
+    max_attempts: int | None = None,
+    pool_failure_limit: int = DEFAULT_POOL_FAILURE_LIMIT,
+) -> list:
     """Run many independent simulations across worker processes.
 
     Args:
@@ -193,57 +523,94 @@ def run_sims_parallel(requests, jobs: int | None = None) -> list[SimulationResul
             ``policy_kwargs`` extras) or dicts with those keys.
         jobs: worker processes; defaults to the :func:`configure` value.
             With ``jobs=1`` everything runs serially in-process.
+        timeout_s: per-run wall-clock limit (pool mode only); defaults
+            to ``REPRO_RUN_TIMEOUT_S`` (unset = no limit).  A run that
+            exceeds it is killed with its pool and retried.
+        max_attempts: attempts per run before recording a failure;
+            defaults to ``REPRO_RUN_MAX_ATTEMPTS`` (fallback 2).
+        pool_failure_limit: pool rebuilds tolerated before the remaining
+            work degrades to in-process serial execution.
 
     Returns:
-        Results in request order.  Each result also lands in the
-        in-process cache (and, when enabled, the disk cache — workers
-        write it, so a crashed sweep keeps its finished runs).
+        One entry per request, in request order: a
+        :class:`~repro.sim.SimulationResult`, or a :class:`RunFailure`
+        for a run that exhausted its attempts.  The sweep itself never
+        raises for a failing run.  Each successful result also lands in
+        the in-process cache (and, when enabled, the disk cache —
+        workers write it, so a crashed sweep keeps its finished runs).
     """
     specs = [_normalize_request(r) for r in requests]
     n_jobs = jobs if jobs is not None else _JOBS
     if n_jobs < 1:
         raise ValueError("jobs must be >= 1")
     n_jobs = min(n_jobs, max(1, len(specs)))
-    if n_jobs == 1:
-        return [_worker((spec, False, None)) for spec in specs]
-
-    def spec_key(spec: dict) -> tuple:
-        return (
-            spec["config"],
-            spec["app"],
-            spec["policy"],
-            spec["footprint_mb"],
-            spec["seed"],
-            tuple(sorted(spec["policy_kwargs"].items())),
-        )
+    if timeout_s is None:
+        raw = os.environ.get("REPRO_RUN_TIMEOUT_S", "").strip()
+        if raw:
+            try:
+                timeout_s = float(raw)
+            except ValueError:
+                timeout_s = None
+    if max_attempts is None:
+        raw = os.environ.get("REPRO_RUN_MAX_ATTEMPTS", "").strip()
+        max_attempts = DEFAULT_MAX_ATTEMPTS
+        if raw:
+            try:
+                max_attempts = max(1, int(raw))
+            except ValueError:
+                pass
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
 
     # Only ship cache misses to the pool, and each distinct run once.
     pending: dict[tuple, dict] = {}
     for spec in specs:
-        key = spec_key(spec)
+        key = _spec_key(spec)
         if key not in _CACHE and key not in pending:
             pending[key] = spec
-    if pending:
-        disk_enabled = _DISK is not None
-        disk_root = str(_DISK.root) if disk_enabled else None
-        payloads = [
-            (spec, disk_enabled, disk_root) for spec in pending.values()
-        ]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for key, result in zip(pending, pool.map(_worker, payloads)):
-                _STATS["misses"] += 1
-                _remember(key, result)
-    return [
-        run_sim(
-            spec["config"],
-            spec["app"],
-            spec["policy"],
-            footprint_mb=spec["footprint_mb"],
-            seed=spec["seed"],
-            **spec["policy_kwargs"],
+
+    fresh: dict[tuple, SimulationResult] = {}
+    precounted: set[tuple] = set()
+    failures: dict[tuple, RunFailure] = {}
+    if pending and n_jobs > 1:
+        _drain_pool(
+            pending,
+            n_jobs,
+            timeout_s,
+            max_attempts,
+            pool_failure_limit,
+            fresh,
+            precounted,
+            failures,
         )
-        for spec in specs
-    ]
+
+    # Assemble results in request order.  Cache accounting reconciles:
+    # every request slot is exactly one hit or one miss (failures are
+    # neither — they were never computed).  Work computed in the pool is
+    # counted as a miss at its first request slot; duplicates and
+    # already-cached specs go through run_sim (a hit).
+    out: list = []
+    counted: set[tuple] = set()
+    for spec in specs:
+        key = _spec_key(spec)
+        if key in failures:
+            out.append(failures[key])
+            continue
+        if key in fresh and key not in counted:
+            counted.add(key)
+            if key not in precounted:
+                _STATS["misses"] += 1
+            if key in _CACHE:
+                _CACHE.move_to_end(key)
+            out.append(fresh[key])
+            continue
+        try:
+            out.append(_run_spec(spec))
+        except Exception as exc:
+            # Serial path (jobs=1, or a spec that failed only here):
+            # diagnose instead of aborting, matching pool semantics.
+            out.append(_failure_from(spec, 1, exc))
+    return out
 
 
 def speedup_table(

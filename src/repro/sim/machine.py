@@ -19,6 +19,7 @@ import math
 
 from repro.config import HOST, SystemConfig
 from repro.engine import StatCounters
+from repro.faults import FaultInjector
 from repro.interconnect import Topology
 from repro.memory import AccessCounterFile, CapacityManager, PageTables
 from repro.memory.page import policy_name
@@ -61,7 +62,7 @@ class Machine:
             first_page=trace.first_page,
             coherent=coherent,
         )
-        self.topology = Topology(config.n_gpus, config.latency)
+        self.topology = Topology(config.n_gpus, config.latency, stats=self.stats)
         self.tlbs = [
             TLBHierarchy(config.l1_tlb, config.l2_tlb, config.latency)
             for _ in range(config.n_gpus)
@@ -83,6 +84,21 @@ class Machine:
             counters=self.access_counters,
             stats=self.stats,
         )
+        # Fault injection: an empty (or absent) plan builds no injector at
+        # all, so the healthy path stays branch-free and bit-identical.
+        plan = config.fault_plan
+        if plan is not None and not plan.empty:
+            self.injector = FaultInjector(
+                plan,
+                topology=self.topology,
+                page_tables=self.page_tables,
+                capacity=self.capacity,
+                stats=self.stats,
+                n_gpus=config.n_gpus,
+            )
+        else:
+            self.injector = None
+        self.driver.injector = self.injector
         self.clocks = [0.0] * config.n_gpus
         self._fault_keys = [f"fault.by_gpu.{g}" for g in range(config.n_gpus)]
         self._object_fault_keys = [
@@ -195,7 +211,13 @@ class Machine:
                 self.topology.record_transfer(
                     gpu, owner, REMOTE_ACCESS_BYTES * weight
                 )
-            self.policy.on_remote_access(gpu, page, is_write, weight)
+            if self.injector is not None and self.injector.is_degraded(gpu, page):
+                # Zero-copy fallback after a blocked install: the page is
+                # pinned remote by the fault, so the policy (which may not
+                # even implement remote-access handling) is not consulted.
+                self.stats.add("access.degraded", weight)
+            else:
+                self.policy.on_remote_access(gpu, page, is_write, weight)
 
     def _note_l2_miss(self, page: int) -> None:
         name = policy_name(self.page_tables.policy(page))
@@ -230,8 +252,10 @@ class Machine:
         now = 0.0
         for index, phase in enumerate(self.trace.phases):
             self._do_allocations(index)
+            if self.injector is not None:
+                self.injector.start_phase(index, now, self.driver)
             self.policy.on_phase_start(index, phase)
-            phase_result = self._run_phase(phase, start_time=now)
+            phase_result = self._run_phase(phase, start_time=now, index=index)
             phases.append(phase_result)
             now += phase_result.duration_ns
             self._sync_clocks(now)
@@ -260,10 +284,16 @@ class Machine:
             if obj.free_phase == phase_index:
                 self.policy.on_free(obj)
 
-    def _run_phase(self, phase, start_time: float) -> PhaseResult:
+    def _run_phase(self, phase, start_time: float, index: int = 0) -> PhaseResult:
         link_busy_before = [link.busy_time_ns for link in self.topology.links()]
         driver_busy_before = self.driver.queue.busy_time
-        if self._fast is not None:
+        # The vectorized path is exact only on a healthy machine; once the
+        # first fault phase is reached every record goes through the exact
+        # per-record path (bit-identical to REPRO_FORCE_SLOW_PATH=1).
+        fast_ok = self._fast is not None and (
+            self.injector is None or self.injector.fast_path_allowed(index)
+        )
+        if fast_ok:
             self._fast.run_phase(phase)
         else:
             access = self.access

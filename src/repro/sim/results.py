@@ -75,6 +75,36 @@ class SimulationResult:
     def evictions(self) -> float:
         return self.stats.get("eviction.count", 0.0)
 
+    # -- resilience accounting (fault injection) ---------------------------
+
+    @property
+    def migration_retries(self) -> float:
+        """Transient migration attempts retried after injected failures."""
+        return self.stats.get("driver.migration_retries", 0.0)
+
+    @property
+    def migration_fallbacks(self) -> float:
+        """Installs degraded to zero-copy remote mappings by faults."""
+        return self.stats.get("driver.migration_fallbacks", 0.0)
+
+    @property
+    def reroutes(self) -> float:
+        """Transfers rerouted around severed links."""
+        return self.stats.get("fault_inject.reroutes", 0.0)
+
+    @property
+    def retired_pages(self) -> float:
+        """Frames retired by the fault plan during the run."""
+        return self.stats.get("fault_inject.page_retired", 0.0)
+
+    def resilience_summary(self) -> dict[str, float]:
+        """Every injection/resilience counter (empty on a healthy run)."""
+        return {
+            key: value
+            for key, value in sorted(self.stats.items())
+            if key.startswith(("fault_inject.", "driver.", "access.degraded"))
+        }
+
     # -- comparisons -------------------------------------------------------
 
     def speedup_over(self, baseline: "SimulationResult") -> float:

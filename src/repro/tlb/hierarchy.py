@@ -148,6 +148,10 @@ class TLBHierarchy:
         self.l1.flush()
         self.l2.flush()
 
+    def cached_pages(self) -> set[int]:
+        """Pages with a valid entry in either level (for audits)."""
+        return self.l1.cached_pages() | self.l2.cached_pages()
+
     @property
     def l2_misses(self) -> int:
         """Number of requests that required a page-table walk."""

@@ -76,3 +76,10 @@ class SetAssociativeTLB:
     def contains(self, page: int) -> bool:
         """Non-mutating presence probe (no LRU or stat updates)."""
         return page in self._set_of(page)
+
+    def cached_pages(self) -> set[int]:
+        """Every page with a valid entry (for invariant audits)."""
+        pages: set[int] = set()
+        for entries in self._sets:
+            pages.update(entries)
+        return pages

@@ -51,6 +51,10 @@ class UVMDriver:
         self.stats = stats
         #: FIFO model of the driver CPU servicing faults one at a time.
         self.queue = SerialServer()
+        #: :class:`repro.faults.FaultInjector` when a fault plan is active
+        #: (set by the machine after construction); ``None`` on a healthy
+        #: system, keeping every fault check a single attribute test.
+        self.injector = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -85,6 +89,45 @@ class UVMDriver:
             self.stats.add("traffic.nvlink_bytes", n_bytes)
         return time
 
+    def _degrade_to_remote(self, gpu: int, page: int, reason: str) -> float:
+        """Fall back to a zero-copy remote mapping after a blocked install.
+
+        The page stays where it is; ``gpu`` gets a PTE pointing at the
+        remote copy and the injector remembers the mapping so the machine
+        services its accesses without re-entering the policy (which may
+        not implement remote-access callbacks).
+        """
+        self.injector.note_degraded(gpu, page)
+        self.stats.add("driver.migration_fallbacks")
+        self.stats.add(f"driver.fallback_{reason}")
+        return self.map_remote(gpu, page)
+
+    def _gate_install(self, gpu: int, page: int, transient: bool) -> tuple[bool, float, str]:
+        """Consult the injector before installing data on ``gpu``.
+
+        Returns ``(proceed, extra_cost_ns, reason)``.  ``transient`` marks
+        data moves that the flake model covers (migrations); permanent
+        conditions (retired frame, unreachable source) apply to every
+        data-moving primitive.
+        """
+        inj = self.injector
+        if inj.is_retired(gpu, page):
+            return False, 0.0, "retired"
+        src = self._nearest_source(page, gpu)
+        if src != gpu and not inj.destination_reachable(src, gpu):
+            return False, 0.0, "unreachable"
+        if not transient:
+            return True, 0.0, ""
+        verdict = inj.gate_migration(gpu, page)
+        extra = 0.0
+        if verdict.retries:
+            self.stats.add("driver.migration_retries", verdict.retries)
+            self.stats.add("driver.backoff_ns", verdict.backoff_ns)
+            extra = verdict.backoff_ns
+        if not verdict.proceed:
+            return False, extra, verdict.reason
+        return True, extra, ""
+
     def _maybe_evict(self, gpu: int, protect: int) -> float:
         """Evict LRU pages from ``gpu`` until it fits; returns the latency."""
         if not self.capacity.enabled:
@@ -98,8 +141,21 @@ class UVMDriver:
     # -- primitives ----------------------------------------------------------
 
     def migrate(self, gpu: int, page: int) -> float:
-        """Move the page to ``gpu``'s memory as the exclusive writable copy."""
+        """Move the page to ``gpu``'s memory as the exclusive writable copy.
+
+        Under an active fault plan the data install is gated first: a
+        retired destination frame or an unreachable source degrades the
+        request to a zero-copy remote mapping, and transient migration
+        failures are retried with exponential backoff (degrading only
+        after ``max_retries`` attempts fail).
+        """
         pt = self.page_tables
+        extra = 0.0
+        if self.injector is not None and not pt.has_copy(gpu, page):
+            proceed, extra, reason = self._gate_install(gpu, page, transient=True)
+            if not proceed:
+                return extra + self._degrade_to_remote(gpu, page, reason)
+            self.injector.clear_degraded(gpu, page)
         src = self._nearest_source(page, gpu)
         victims = pt.unmap_all_except(page, keep=None)
         cost = self._shootdown(page, victims)
@@ -117,11 +173,17 @@ class UVMDriver:
         self.stats.add("migration.bytes", self.config.page_size)
         cost += self.config.latency.pte_update_ns
         cost += self._maybe_evict(gpu, protect=page)
-        return cost
+        return cost + extra
 
     def duplicate(self, gpu: int, page: int) -> float:
         """Install a read-only copy of the page on ``gpu``."""
         pt = self.page_tables
+        if self.injector is not None and not pt.has_copy(gpu, page):
+            proceed, _extra, reason = self._gate_install(
+                gpu, page, transient=False
+            )
+            if not proceed:
+                return self._degrade_to_remote(gpu, page, reason)
         if pt.has_copy(gpu, page):
             # Already a holder (e.g. owner re-mapping after invalidation):
             # just (re)install a read-only PTE.
@@ -164,6 +226,12 @@ class UVMDriver:
     def collapse(self, gpu: int, page: int) -> float:
         """Write-collapse: make ``gpu`` the exclusive writable holder."""
         pt = self.page_tables
+        if self.injector is not None and not pt.has_copy(gpu, page):
+            proceed, _extra, reason = self._gate_install(
+                gpu, page, transient=False
+            )
+            if not proceed:
+                return self._degrade_to_remote(gpu, page, reason)
         had_copy = pt.has_copy(gpu, page)
         dropped_copies = sum(
             1 for holder in pt.copy_holders(page) if holder != gpu
@@ -209,6 +277,8 @@ class UVMDriver:
         pt = self.page_tables
         cost = 0.0
         if not pt.has_copy(gpu, page):
+            if self.injector is not None and self.injector.is_retired(gpu, page):
+                return self._degrade_to_remote(gpu, page, "retired")
             src = self._nearest_source(page, gpu)
             cost += self._transfer(src, gpu)
             pt.add_copy(gpu, page)

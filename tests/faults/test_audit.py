@@ -1,0 +1,71 @@
+"""Machine-invariant audit: randomized primitives + full replays."""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkFault, MigrationFlake, audit
+
+
+class TestPrimitiveAudit:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_healthy_sequences_stay_consistent(self, seed):
+        assert audit.random_primitive_audit(seed, steps=150) == []
+
+    def test_faulted_sequences_stay_consistent(self):
+        plan = FaultPlan(
+            link_faults=(LinkFault(a=0, b=1, phase=0),),
+            migration_flakes=(MigrationFlake(rate=0.3, phase=0),),
+        )
+        assert audit.random_primitive_audit(
+            1, steps=150, fault_plan=plan
+        ) == []
+
+    def test_oversubscribed_sequences_stay_consistent(self):
+        assert audit.random_primitive_audit(
+            2, steps=150, oversubscription=2.0
+        ) == []
+
+
+class TestReplayAudit:
+    @pytest.mark.parametrize("policy", audit.AUDIT_POLICIES)
+    def test_healthy_replay(self, policy):
+        assert audit.replay_audit(policy, seed=0) == []
+
+    @pytest.mark.parametrize("policy", audit.AUDIT_POLICIES)
+    def test_faulted_replay(self, policy):
+        plan = FaultPlan(
+            link_faults=(LinkFault(a=0, b=1, phase=1, bandwidth_factor=0.2),),
+            migration_flakes=(MigrationFlake(rate=0.25, phase=1),),
+        )
+        assert audit.replay_audit(policy, seed=0, fault_plan=plan) == []
+
+
+class TestInvariantChecker:
+    def test_detects_planted_corruption(self):
+        from repro import make_policy
+        from repro.config import baseline_config
+        from repro.sim.machine import Machine
+
+        config = baseline_config()
+        trace = audit._two_phase_trace(config)
+        machine = Machine(config, trace, make_policy("on_touch"))
+        machine.run()
+        assert audit.check_machine_invariants(machine) == []
+        # Corrupt the machine behind the bookkeeping's back: wipe the
+        # copy set of a GPU-owned page, leaving a dangling owner.
+        from repro.config import HOST
+
+        pt = machine.page_tables
+        page = next(
+            p
+            for p in range(trace.first_page, trace.first_page + trace.n_pages)
+            if pt.location(p) != HOST
+        )
+        pt._copy_mask[page - pt._first_page] = 0
+        assert audit.check_machine_invariants(machine) != []
+
+
+class TestRunAudit:
+    def test_full_matrix_is_clean(self):
+        report = audit.run_audit(seeds=(0,), steps=80)
+        assert report["checks"] > 0
+        assert report["violations"] == []

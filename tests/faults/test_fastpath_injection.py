@@ -1,0 +1,144 @@
+"""Fast-path correctness under fault injection.
+
+The vectorized replay must engage only for phases before the first
+scheduled fault, and a run under injection must be bit-identical to the
+forced per-record path — same SimulationResult, down to every float.
+"""
+
+import pytest
+
+from repro import make_policy, simulate
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    MigrationFlake,
+    PageRetirement,
+)
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+POLICIES = ("on_touch", "access_counter", "duplication", "grit", "oasis")
+
+
+def trace_4phase():
+    records = sweep_records(range(4), "data", 16, False)
+    writes = [(gpu, "data", page, True) for gpu in range(4)
+              for page in range(0, 16, 4)]
+    return make_trace(
+        {"data": 16},
+        [records, records + writes, records, records + writes],
+    )
+
+
+MIXED_PLAN = FaultPlan(
+    link_faults=(LinkFault(a=0, b=1, phase=2, bandwidth_factor=0.25),),
+    migration_flakes=(MigrationFlake(rate=0.3, phase=2),),
+)
+
+
+class TestFastPathGating:
+    def test_no_plan_keeps_fast_path(self, config):
+        machine = Machine(config, trace_4phase(), make_policy("on_touch"))
+        assert machine._fast is not None
+
+    def test_empty_plan_keeps_fast_path(self, config):
+        machine = Machine(
+            config.replace(fault_plan=FaultPlan()),
+            trace_4phase(),
+            make_policy("on_touch"),
+        )
+        assert machine._fast is not None
+        assert machine.injector is None
+
+    def test_phase_zero_fault_disables_bulk_replay(self, config):
+        plan = FaultPlan(migration_flakes=(MigrationFlake(rate=0.1,
+                                                          phase=0),))
+        machine = Machine(
+            config.replace(fault_plan=plan),
+            trace_4phase(),
+            make_policy("on_touch"),
+        )
+        assert machine._fast is None
+
+    def test_later_fault_keeps_prefix_fast(self, config):
+        machine = Machine(
+            config.replace(fault_plan=MIXED_PLAN),
+            trace_4phase(),
+            make_policy("on_touch"),
+        )
+        assert machine._fast is not None  # phases 0-1 still vectorized
+
+
+class TestBitIdentical:
+    def test_empty_plan_matches_no_plan(self, config):
+        trace = trace_4phase()
+        for policy in POLICIES:
+            plain = simulate(config, trace, make_policy(policy))
+            empty = simulate(
+                config.replace(fault_plan=FaultPlan()),
+                trace,
+                make_policy(policy),
+            )
+            assert plain.to_dict() == empty.to_dict()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_injected_fast_matches_forced_slow(self, config, policy,
+                                               monkeypatch):
+        trace = trace_4phase()
+        faulted = config.replace(fault_plan=MIXED_PLAN)
+        monkeypatch.delenv("REPRO_FORCE_SLOW_PATH", raising=False)
+        fast = simulate(faulted, trace, make_policy(policy))
+        monkeypatch.setenv("REPRO_FORCE_SLOW_PATH", "1")
+        slow = simulate(faulted, trace, make_policy(policy))
+        assert fast.to_dict() == slow.to_dict()
+
+    @pytest.mark.parametrize("policy", ("on_touch", "oasis"))
+    def test_retirement_fast_matches_forced_slow(self, config, policy,
+                                                 monkeypatch):
+        trace = trace_4phase()
+        plan = FaultPlan(
+            page_retirements=tuple(
+                PageRetirement(gpu=0, page=trace.first_page + k, phase=1)
+                for k in range(4)
+            ),
+        )
+        faulted = config.replace(fault_plan=plan)
+        monkeypatch.delenv("REPRO_FORCE_SLOW_PATH", raising=False)
+        fast = simulate(faulted, trace, make_policy(policy))
+        monkeypatch.setenv("REPRO_FORCE_SLOW_PATH", "1")
+        slow = simulate(faulted, trace, make_policy(policy))
+        assert fast.to_dict() == slow.to_dict()
+
+    def test_injection_actually_happened(self, config):
+        trace = trace_4phase()
+        faulted = simulate(
+            config.replace(fault_plan=MIXED_PLAN),
+            trace,
+            make_policy("on_touch"),
+        )
+        healthy = simulate(config, trace, make_policy("on_touch"))
+        summary = faulted.resilience_summary()
+        assert summary  # counters present, not a silent no-op
+        assert faulted.to_dict() != healthy.to_dict()
+
+
+class TestResultSurface:
+    def test_resilience_properties(self, config):
+        trace = trace_4phase()
+        plan = FaultPlan(
+            migration_flakes=(MigrationFlake(rate=1.0, phase=1),),
+            link_faults=(LinkFault(a=0, b=1, phase=1),),
+        )
+        result = simulate(
+            config.replace(fault_plan=plan), trace, make_policy("on_touch")
+        )
+        assert result.migration_fallbacks > 0
+        assert result.migration_retries > 0
+        summary = result.resilience_summary()
+        assert "driver.migration_fallbacks" in summary
+
+    def test_healthy_run_summary_is_empty(self, config):
+        result = simulate(config, trace_4phase(), make_policy("on_touch"))
+        assert result.resilience_summary() == {}
+        assert result.migration_retries == 0
+        assert result.reroutes == 0

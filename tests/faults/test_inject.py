@@ -1,0 +1,253 @@
+"""FaultInjector behavior: link events, retirements, flakes, gating."""
+
+import pytest
+
+from repro import make_policy
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    MigrationFlake,
+    PageRetirement,
+)
+from repro.sim.machine import Machine
+from tests.conftest import make_trace, sweep_records
+
+
+def machine_with(config, plan, *, phases=2):
+    """A 4-GPU machine over a tiny trace with ``phases`` phases."""
+    records = sweep_records(range(4), "data", 8, False)
+    trace = make_trace({"data": 8}, [records] * phases)
+    return Machine(
+        config.replace(fault_plan=plan), trace, make_policy("on_touch")
+    )
+
+
+class TestConstruction:
+    def test_empty_plan_builds_no_injector(self, config):
+        machine = machine_with(config, FaultPlan())
+        assert machine.injector is None
+
+    def test_no_plan_builds_no_injector(self, config):
+        machine = machine_with(config, None)
+        assert machine.injector is None
+
+    def test_injector_wired_to_driver(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1),))
+        )
+        assert machine.injector is not None
+        assert machine.driver.injector is machine.injector
+
+    def test_rejects_unknown_link(self, config):
+        with pytest.raises(ValueError):
+            machine_with(
+                config, FaultPlan(link_faults=(LinkFault(a=0, b=99),))
+            )
+
+    def test_rejects_unknown_retirement_gpu(self, config):
+        with pytest.raises(ValueError):
+            machine_with(
+                config,
+                FaultPlan(page_retirements=(PageRetirement(gpu=7, page=0),)),
+            )
+
+    def test_rejects_unknown_flake_gpu(self, config):
+        with pytest.raises(ValueError):
+            machine_with(
+                config,
+                FaultPlan(
+                    migration_flakes=(MigrationFlake(rate=0.1, gpus=(9,)),)
+                ),
+            )
+
+
+class TestFastPathGate:
+    def test_phases_before_first_fault_allowed(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=2),))
+        )
+        injector = machine.injector
+        assert injector.fast_path_allowed(0)
+        assert injector.fast_path_allowed(1)
+        assert not injector.fast_path_allowed(2)
+        assert not injector.fast_path_allowed(3)
+
+    def test_phase_zero_fault_blocks_everything(self, config):
+        machine = machine_with(
+            config, FaultPlan(migration_flakes=(MigrationFlake(rate=0.1),))
+        )
+        assert not machine.injector.fast_path_allowed(0)
+
+
+class TestLinkEvents:
+    def test_sever_applies_at_scheduled_phase(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=1),))
+        )
+        injector = machine.injector
+        injector.start_phase(0, 0.0, machine.driver)
+        assert not machine.topology.link(0, 1).severed
+        injector.start_phase(1, 0.0, machine.driver)
+        assert machine.topology.link(0, 1).severed
+        assert machine.stats["fault_inject.link_severed"] == 1
+
+    def test_degrade_scales_bandwidth(self, config):
+        machine = machine_with(
+            config,
+            FaultPlan(
+                link_faults=(
+                    LinkFault(a=0, b=1, phase=0, bandwidth_factor=0.25),
+                )
+            ),
+        )
+        link = machine.topology.link(0, 1)
+        rated = link.bandwidth
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        assert link.bandwidth == pytest.approx(rated * 0.25)
+        assert machine.stats["fault_inject.link_degraded"] == 1
+
+    def test_event_fires_once(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=0),))
+        )
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        machine.injector.start_phase(1, 0.0, machine.driver)
+        assert machine.stats["fault_inject.link_severed"] == 1
+
+    def test_severed_link_reroutes_via_host(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=0),))
+        )
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        assert machine.injector.destination_reachable(0, 1)
+        machine.topology.record_transfer(0, 1, 4096)
+        assert machine.stats["fault_inject.reroutes"] == 1
+
+
+class TestRetirements:
+    def test_retired_frame_is_tracked(self, config):
+        machine = machine_with(config, _retire_plan(machine_page(config), 0))
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        page = machine_page(config)
+        assert machine.injector.is_retired(0, page)
+        assert machine.capacity.is_retired(0, page)
+        assert machine.stats["fault_inject.page_retired"] == 1
+
+    def test_occupied_frame_is_relocated(self, config):
+        page = machine_page(config)
+        machine = machine_with(config, _retire_plan(page, 1))
+        machine.driver.migrate(0, page)
+        assert machine.page_tables.has_copy(0, page)
+        machine.injector.start_phase(1, 0.0, machine.driver)
+        assert not machine.page_tables.has_copy(0, page)
+        assert machine.stats["fault_inject.retired_relocations"] == 1
+
+    def test_gate_blocks_retired_destination(self, config):
+        page = machine_page(config)
+        machine = machine_with(config, _retire_plan(page, 0))
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        verdict = machine.injector.gate_migration(0, page)
+        assert not verdict.proceed
+        assert verdict.reason == "retired"
+        # Other GPUs are unaffected.
+        assert machine.injector.gate_migration(1, page).proceed
+
+    def test_migrate_onto_retired_frame_degrades(self, config):
+        page = machine_page(config)
+        machine = machine_with(config, _retire_plan(page, 0))
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        machine.driver.migrate(0, page)
+        assert not machine.page_tables.has_copy(0, page)
+        assert machine.page_tables.is_mapped(0, page)  # zero-copy fallback
+        assert machine.injector.is_degraded(0, page)
+        assert machine.stats["driver.migration_fallbacks"] == 1
+        assert machine.stats["driver.fallback_retired"] == 1
+
+
+class TestFlakes:
+    def test_always_failing_flake_exhausts_retries(self, config):
+        plan = FaultPlan(
+            migration_flakes=(MigrationFlake(rate=1.0, phase=0),),
+            max_retries=3,
+            backoff_base_ns=1_000.0,
+        )
+        machine = machine_with(config, plan)
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        verdict = machine.injector.gate_migration(0, machine_page(config))
+        assert not verdict.proceed
+        assert verdict.reason == "flake"
+        assert verdict.retries == 3
+        # 1000 * (2**0 + 2**1 + 2**2)
+        assert verdict.backoff_ns == pytest.approx(7_000.0)
+
+    def test_flake_inactive_before_its_phase(self, config):
+        plan = FaultPlan(migration_flakes=(MigrationFlake(rate=1.0, phase=1),))
+        machine = machine_with(config, plan)
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        assert machine.injector.gate_migration(0, machine_page(config)).proceed
+
+    def test_flake_stream_is_deterministic(self, config):
+        def verdicts():
+            plan = FaultPlan(
+                migration_flakes=(MigrationFlake(rate=0.5, phase=0),), seed=7
+            )
+            machine = machine_with(config, plan)
+            machine.injector.start_phase(0, 0.0, machine.driver)
+            page = machine_page(config)
+            return [
+                (v.proceed, v.retries, v.backoff_ns)
+                for v in (
+                    machine.injector.gate_migration(0, page)
+                    for _ in range(50)
+                )
+            ]
+
+        assert verdicts() == verdicts()
+
+    def test_gpu_filter_limits_flake(self, config):
+        plan = FaultPlan(
+            migration_flakes=(MigrationFlake(rate=1.0, gpus=(2,)),)
+        )
+        machine = machine_with(config, plan)
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        page = machine_page(config)
+        assert machine.injector.gate_migration(0, page).proceed
+        assert not machine.injector.gate_migration(2, page).proceed
+
+    def test_failed_migration_degrades_then_heals(self, config):
+        plan = FaultPlan(
+            migration_flakes=(MigrationFlake(rate=1.0, phase=0),)
+        )
+        machine = machine_with(config, plan)
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        page = machine_page(config)
+        machine.driver.migrate(0, page)
+        assert machine.injector.is_degraded(0, page)
+        assert machine.stats["driver.fallback_flake"] == 1
+        machine.injector.clear_degraded(0, page)
+        assert not machine.injector.is_degraded(0, page)
+
+
+class TestSummary:
+    def test_summary_collects_resilience_counters(self, config):
+        machine = machine_with(
+            config, FaultPlan(link_faults=(LinkFault(a=0, b=1, phase=0),))
+        )
+        machine.injector.start_phase(0, 0.0, machine.driver)
+        summary = machine.injector.summary()
+        assert summary.get("fault_inject.link_severed") == 1
+        assert all(
+            key.startswith(("fault_inject.", "driver.")) for key in summary
+        )
+
+
+def machine_page(config) -> int:
+    """First page of the test trace (trace-relative retirement target)."""
+    records = sweep_records(range(4), "data", 8, False)
+    return make_trace({"data": 8}, [records]).first_page
+
+
+def _retire_plan(page: int, phase: int) -> FaultPlan:
+    return FaultPlan(
+        page_retirements=(PageRetirement(gpu=0, page=page, phase=phase),)
+    )

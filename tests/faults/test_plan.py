@@ -1,0 +1,129 @@
+"""FaultPlan construction, validation, and serialization."""
+
+import json
+
+import pytest
+
+from repro import baseline_config
+from repro.faults import FaultPlan, LinkFault, MigrationFlake, PageRetirement
+from repro.harness.diskcache import cache_key
+
+
+class TestEventValidation:
+    def test_link_fault_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            LinkFault(a=1, b=1)
+
+    def test_link_fault_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            LinkFault(a=0, b=1, bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(a=0, b=1, bandwidth_factor=-0.1)
+
+    def test_link_fault_rejects_negative_phase(self):
+        with pytest.raises(ValueError):
+            LinkFault(a=0, b=1, phase=-1)
+
+    def test_severed_iff_zero_factor(self):
+        assert LinkFault(a=0, b=1).severed
+        assert not LinkFault(a=0, b=1, bandwidth_factor=0.5).severed
+
+    def test_retirement_rejects_host(self):
+        with pytest.raises(ValueError):
+            PageRetirement(gpu=-1, page=0)
+
+    def test_flake_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            MigrationFlake(rate=1.5)
+
+    def test_flake_gpu_filter(self):
+        flake = MigrationFlake(rate=0.1, gpus=(1, 2))
+        assert flake.applies_to(1)
+        assert not flake.applies_to(0)
+        assert MigrationFlake(rate=0.1).applies_to(0)
+
+    def test_plan_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=-1)
+
+
+class TestPlanShape:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert plan.events == ()
+        assert plan.first_fault_phase is None
+
+    def test_first_fault_phase_is_min(self):
+        plan = FaultPlan(
+            link_faults=(LinkFault(a=0, b=1, phase=3),),
+            migration_flakes=(MigrationFlake(rate=0.1, phase=2),),
+        )
+        assert plan.first_fault_phase == 2
+        assert not plan.empty
+
+    def test_lists_are_frozen_to_tuples(self):
+        plan = FaultPlan(link_faults=[LinkFault(a=0, b=1)])
+        assert isinstance(plan.link_faults, tuple)
+        hash(plan)  # hashable end-to-end
+
+    def test_plan_is_hashable_and_comparable(self):
+        a = FaultPlan(link_faults=(LinkFault(a=0, b=1),))
+        b = FaultPlan(link_faults=(LinkFault(a=0, b=1),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultPlan()
+
+
+class TestSerialization:
+    def _plan(self):
+        return FaultPlan(
+            link_faults=(LinkFault(a=0, b=1, phase=1, bandwidth_factor=0.25),),
+            page_retirements=(PageRetirement(gpu=0, page=7, phase=2),),
+            migration_flakes=(MigrationFlake(rate=0.05, gpus=(2,)),),
+            seed=9,
+            max_retries=5,
+        )
+
+    def test_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    def test_round_trip_through_json_string(self):
+        plan = self._plan()
+        assert FaultPlan.from_spec(json.dumps(plan.to_spec())) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_spec({"link_fautls": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("[1, 2]")
+
+    def test_digest_tracks_content(self):
+        plan = self._plan()
+        assert plan.digest() == self._plan().digest()
+        assert plan.digest() != FaultPlan().digest()
+
+
+class TestCacheKeyIntegration:
+    def test_plan_changes_cache_key(self):
+        base = baseline_config()
+        faulted = base.replace(
+            fault_plan=FaultPlan(link_faults=(LinkFault(a=0, b=1),))
+        )
+        plain = cache_key(base, "mm", "on_touch", 4.0, 0, {})
+        injected = cache_key(faulted, "mm", "on_touch", 4.0, 0, {})
+        assert plain != injected
+
+    def test_same_plan_same_key(self):
+        plan = FaultPlan(migration_flakes=(MigrationFlake(rate=0.1),))
+        a = baseline_config(fault_plan=plan)
+        b = baseline_config(
+            fault_plan=FaultPlan(migration_flakes=(MigrationFlake(rate=0.1),))
+        )
+        assert (
+            cache_key(a, "mm", "oasis", 4.0, 0, {})
+            == cache_key(b, "mm", "oasis", 4.0, 0, {})
+        )

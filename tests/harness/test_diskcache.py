@@ -33,12 +33,16 @@ class TestDiskCache:
         loaded = cache.load(key)
         assert isinstance(loaded, SimulationResult)
         assert loaded.to_dict() == result.to_dict()
-        assert cache.stats() == {"disk_hits": 1, "disk_misses": 0}
+        assert cache.stats() == {
+            "disk_hits": 1, "disk_misses": 0, "disk_quarantined": 0,
+        }
 
     def test_miss_on_unknown_key(self, tmp_path):
         cache = DiskCache(tmp_path / "store")
         assert cache.load("0" * 64) is None
-        assert cache.stats() == {"disk_hits": 0, "disk_misses": 1}
+        assert cache.stats() == {
+            "disk_hits": 0, "disk_misses": 1, "disk_quarantined": 0,
+        }
 
     def test_corrupt_entry_is_a_miss(self, config, tmp_path):
         cache = DiskCache(tmp_path / "store")
@@ -47,6 +51,53 @@ class TestDiskCache:
         path = cache.store(key, result)
         path.write_text("{not json")
         assert cache.load(key) is None
+
+    def test_corrupt_entry_is_quarantined(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        path.write_text("{not json")
+        assert cache.load(key) is None
+        assert not path.exists()  # moved aside, not left to re-trip
+        assert (tmp_path / "store" / "quarantine" / path.name).exists()
+        assert cache.stats()["disk_quarantined"] == 1
+        # A second load is a clean miss, no double quarantine.
+        assert cache.load(key) is None
+        assert cache.stats()["disk_quarantined"] == 1
+
+    def test_truncated_entry_is_quarantined(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # killed mid-write
+        assert cache.load(key) is None
+        assert cache.stats()["disk_quarantined"] == 1
+
+    def test_checksum_mismatch_is_quarantined(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        payload = json.loads(path.read_text())
+        payload["result"]["total_time_ns"] += 1.0  # silent bit-flip
+        path.write_text(json.dumps(payload))
+        assert cache.load(key) is None
+        assert cache.stats()["disk_quarantined"] == 1
+
+    def test_store_heals_after_quarantine(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        path.write_text("garbage")
+        assert cache.load(key) is None
+        cache.store(key, result)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
 
     def test_key_depends_on_parameters(self, config):
         base = cache_key(config, "mm", "on_touch", 4.0, 0, {})

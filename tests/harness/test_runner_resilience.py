@@ -1,0 +1,191 @@
+"""Crash/timeout tolerance of the parallel runner.
+
+These tests exercise the harness's own fault hooks
+(``REPRO_HARNESS_CRASH`` / ``REPRO_HARNESS_HANG``): a worker process
+hard-dies or hangs on a chosen run, and the sweep must still return one
+entry per request — retried results or structured RunFailures, never an
+exception.
+"""
+
+import pytest
+
+from repro.harness import (
+    RunFailure,
+    cache_stats,
+    clear_cache,
+    configure,
+    run_sims_parallel,
+)
+from repro.harness.runner import (
+    _apply_runner_config,
+    _runner_config,
+    _spec_key,
+)
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_HARNESS_CRASH", raising=False)
+    monkeypatch.delenv("REPRO_HARNESS_HANG", raising=False)
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
+    clear_cache()
+    configure(jobs=1, cache_dir=str(tmp_path / "cache"))
+    yield
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+
+
+SMALL = {"footprint_mb": 4.0}
+
+
+class TestStatsReconciliation:
+    def test_hits_plus_misses_covers_every_slot(self, config):
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "mm", "oasis", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+            (config, "mm", "on_touch", SMALL),  # duplicate -> hit
+        ]
+        results = run_sims_parallel(requests, jobs=2)
+        assert all(isinstance(r, SimulationResult) for r in results)
+        stats = cache_stats()
+        assert stats["misses"] == 3  # three distinct specs
+        assert stats["hits"] == 1  # the duplicate
+        assert stats["hits"] + stats["misses"] == len(requests)
+
+    def test_precached_specs_count_as_hits(self, config):
+        run_sims_parallel([(config, "mm", "on_touch", SMALL)], jobs=2)
+        before = cache_stats()
+        run_sims_parallel([(config, "mm", "on_touch", SMALL)], jobs=2)
+        after = cache_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 1
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_is_retried(self, config, tmp_path, monkeypatch):
+        sentinel = tmp_path / "crashed-once"
+        monkeypatch.setenv(
+            "REPRO_HARNESS_CRASH", f"mm:on_touch@{sentinel}"
+        )
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        results = run_sims_parallel(requests, jobs=2)
+        assert sentinel.exists()  # the crash really happened
+        assert all(isinstance(r, SimulationResult) for r in results)
+        stats = cache_stats()
+        assert stats["pool_failures"] >= 1
+        assert stats["hits"] + stats["misses"] == len(requests)
+
+    def test_poisoned_run_degrades_to_serial(self, config, monkeypatch):
+        # No sentinel: the run crashes its worker on *every* pool attempt.
+        # Each crash is unattributable (no attempt is charged), so the
+        # sweep survives by degrading to in-process serial execution,
+        # where the hook is inert.
+        monkeypatch.setenv("REPRO_HARNESS_CRASH", "mm:on_touch")
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        results = run_sims_parallel(
+            requests, jobs=2, pool_failure_limit=1
+        )
+        assert all(isinstance(r, SimulationResult) for r in results)
+        assert cache_stats()["pool_failures"] == 2  # limit + the last straw
+        assert cache_stats()["hits"] + cache_stats()["misses"] == 2
+
+
+class TestHangTimeout:
+    def test_hung_run_times_out_into_failure(self, config, monkeypatch):
+        monkeypatch.setenv("REPRO_HARNESS_HANG", "mm:on_touch")
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        # pool_failure_limit high enough that the sweep never leaves pool
+        # mode (serial fallback would ignore the hang hook and succeed).
+        results = run_sims_parallel(
+            requests,
+            jobs=2,
+            timeout_s=3.0,
+            max_attempts=1,
+            pool_failure_limit=5,
+        )
+        failure, success = results
+        assert isinstance(failure, RunFailure)
+        assert failure.error_type == "TimeoutError"
+        assert failure.app == "mm"
+        assert failure.attempts == 1
+        assert not failure.ok
+        assert isinstance(success, SimulationResult)
+
+    def test_failure_renders_diagnosably(self, config):
+        failure = RunFailure(
+            app="mm", policy="oasis", seed=3,
+            error_type="TimeoutError", message="run exceeded 3.0s",
+            attempts=2,
+        )
+        text = str(failure)
+        assert "mm/oasis" in text
+        assert "TimeoutError" in text
+        assert "2 attempt(s)" in text
+
+
+class TestWorkerConfigPassthrough:
+    def test_snapshot_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_SIZE", "17")
+        configure(jobs=3, cache_dir=str(tmp_path / "elsewhere"))
+        snapshot = _runner_config()
+        assert snapshot == {
+            "jobs": 3,
+            "disk_enabled": True,
+            "disk_root": str(tmp_path / "elsewhere"),
+            "cache_size": 17,
+        }
+        # A spawned worker starts from defaults; applying the snapshot
+        # must reproduce the parent's runner state exactly.
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_SIZE", "1")
+        configure(jobs=1, disk_cache=False)
+        _apply_runner_config(snapshot)
+        assert _runner_config() == snapshot
+
+    def test_disk_cache_disabled_round_trips(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_CACHE_SIZE", raising=False)
+        configure(jobs=2, disk_cache=False)
+        snapshot = _runner_config()
+        assert snapshot["disk_enabled"] is False
+        assert snapshot["disk_root"] is None
+        _apply_runner_config(snapshot)
+        assert _runner_config() == snapshot
+
+    def test_workers_see_parent_disk_cache(self, config, tmp_path):
+        # The workers must write results into the parent's configured
+        # store — the regression was workers falling back to defaults.
+        configure(jobs=2, cache_dir=str(tmp_path / "shared"))
+        run_sims_parallel([(config, "mm", "on_touch", SMALL)], jobs=2)
+        store = tmp_path / "shared"
+        entries = [
+            p for p in store.rglob("*.json") if p.parent.name != "quarantine"
+        ]
+        assert entries, "worker did not write to the configured disk cache"
+
+
+class TestSerialFailureIsolation:
+    def test_serial_bad_spec_yields_failure_not_abort(self, config):
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "mm", "bogus_policy", SMALL),
+        ]
+        good, bad = run_sims_parallel(requests, jobs=1)
+        assert isinstance(good, SimulationResult)
+        assert isinstance(bad, RunFailure)
+        assert bad.error_type == "ValueError"
+
+    def test_spec_key_distinguishes_kwargs(self, config):
+        a = {"config": config, "app": "mm", "policy": "grit",
+             "footprint_mb": 4.0, "seed": 0, "policy_kwargs": {}}
+        b = dict(a, policy_kwargs={"neighbor_window": 0})
+        assert _spec_key(a) != _spec_key(b)
