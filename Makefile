@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep verify-faults
+.PHONY: test bench-smoke bench sweep verify verify-faults verify-obs
 
 test:
 	$(PYTHON) -m pytest -q
@@ -11,6 +11,13 @@ test:
 verify-faults:
 	$(PYTHON) -m pytest tests/faults tests/harness/test_runner_resilience.py -q
 	$(PYTHON) -m repro.cli faults --audit
+
+# Observability verification: trace determinism, stat/event agreement
+# and exporter round-trips.
+verify-obs:
+	$(PYTHON) -m pytest tests/obs -q
+
+verify: verify-faults verify-obs
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py

@@ -10,6 +10,12 @@ Subcommands:
 * ``faults APP [--plan NAME|JSON|@FILE]`` — compare a healthy run
   against the same run under an injected fault plan; ``--audit`` runs
   the machine-invariant audit instead.
+* ``trace APP [--policy P] [--out FILE]`` — record one run with the
+  observability tracer and export a Chrome ``trace_event`` JSON timeline
+  (open in Perfetto / ``chrome://tracing``).
+
+``simulate`` and ``sweep`` also accept ``--trace`` / ``--metrics-out``
+to export timelines and metric dumps alongside their normal output.
 """
 
 from __future__ import annotations
@@ -73,15 +79,54 @@ def _resolve_fault_plan(raw, config, trace=None):
     )
 
 
+def _observed_path(base: str, policy: str, many: bool) -> Path:
+    """Output path for one policy's export (suffixed when several run)."""
+    path = Path(base)
+    if not many:
+        return path
+    return path.with_name(f"{path.stem}.{policy}{path.suffix}")
+
+
+def _export_run(args, policy: str, tracer, metrics, workload: str,
+                many: bool) -> None:
+    """Write the requested trace/metrics exports for one observed run."""
+    from repro.obs import write_chrome_trace, write_prometheus
+
+    if getattr(args, "trace_out", None):
+        path = _observed_path(args.trace_out, policy, many)
+        write_chrome_trace(
+            path, tracer, {"workload": workload, "policy": policy}
+        )
+        print(f"trace written to {path}")
+    if getattr(args, "metrics_out", None):
+        path = _observed_path(args.metrics_out, policy, many)
+        write_prometheus(path, metrics.snapshot())
+        print(f"metrics written to {path}")
+
+
 def cmd_simulate(args) -> int:
     config = _build_config(args)
     trace = get_workload(args.app, config, footprint_mb=args.footprint_mb)
     if getattr(args, "fault_plan", None):
         plan = _resolve_fault_plan(args.fault_plan, config, trace)
         config = config.replace(fault_plan=plan)
+    observed = bool(args.trace_out or args.metrics_out)
     results = {}
     for name in args.policy:
-        results[name] = simulate(config, trace, make_policy(name))
+        if observed:
+            from repro.obs import MetricsRegistry, RecordingTracer
+
+            tracer, metrics = RecordingTracer(), MetricsRegistry()
+            results[name] = simulate(
+                config, trace, make_policy(name),
+                tracer=tracer, metrics=metrics,
+            )
+            _export_run(
+                args, name, tracer, metrics, args.app,
+                many=len(args.policy) > 1,
+            )
+        else:
+            results[name] = simulate(config, trace, make_policy(name))
     baseline = results[args.policy[0]]
     print(f"{'policy':<16s} {'time(ms)':>10s} {'speedup':>8s} "
           f"{'faults':>9s} {'migr':>8s} {'dup':>8s} {'collapse':>8s}")
@@ -198,17 +243,105 @@ def cmd_sweep(args) -> int:
     )
     policies = args.policy or ["on_touch", "access_counter", "duplication",
                                "ideal", "grit", "oasis"]
-    from repro.harness import run_sim, speedup_table
+    from repro.harness import (
+        last_sweep_summary,
+        run_sims_parallel,
+        speedup_table,
+    )
 
+    footprints = (
+        {a: args.footprint_mb for a in apps} if args.footprint_mb else None
+    )
+    summary = None
+    if args.metrics_out:
+        # Drive every cell through run_sims_parallel so the sweep-level
+        # observability summary covers the whole table (the speedup_table
+        # call below then hits the warm cache — capture the summary now,
+        # before that warm pass overwrites it).
+        requests = []
+        for app in apps:
+            mb = footprints.get(app) if footprints else None
+            for policy in policies:
+                requests.append((config, app, policy, {"footprint_mb": mb}))
+        run_sims_parallel(requests)
+        summary = last_sweep_summary()
     rows, geo = speedup_table(
-        config, apps, policies,
-        footprint_mb={a: args.footprint_mb for a in apps}
-        if args.footprint_mb else None,
+        config, apps, policies, footprint_mb=footprints,
     )
     header = f"{'app':<10s}" + "".join(f"{p[:12]:>13s}" for p in policies)
     print(header)
     for row in rows:
         print(f"{row[0]:<10s}" + "".join(f"{v:13.2f}" for v in row[1:]))
+    if args.metrics_out:
+        import json
+
+        path = Path(args.metrics_out)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"\nsweep summary written to {path} "
+              f"({summary['runs']} runs, {summary['failed']} failed, "
+              f"{summary['wall_clock_s']['total']:.2f}s)")
+    if args.trace_out:
+        from repro.obs import MetricsRegistry, RecordingTracer, write_chrome_trace
+
+        out_dir = Path(args.trace_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for app in apps:
+            mb = footprints.get(app) if footprints else None
+            workload = get_workload(app, config, footprint_mb=mb)
+            for policy in policies:
+                tracer = RecordingTracer()
+                simulate(
+                    config, workload, make_policy(policy),
+                    tracer=tracer, metrics=MetricsRegistry(),
+                )
+                path = out_dir / f"{app}.{policy}.trace.json"
+                write_chrome_trace(
+                    path, tracer, {"workload": app, "policy": policy}
+                )
+        print(f"per-run traces written to {out_dir}/ "
+              f"({len(apps) * len(policies)} files)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Record one observed run and export its timeline."""
+    from repro.obs import (
+        MetricsRegistry,
+        RecordingTracer,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    config = _build_config(args)
+    trace = get_workload(args.app, config, footprint_mb=args.footprint_mb)
+    if getattr(args, "fault_plan", None):
+        plan = _resolve_fault_plan(args.fault_plan, config, trace)
+        config = config.replace(fault_plan=plan)
+    tracer, metrics = RecordingTracer(), MetricsRegistry()
+    result = simulate(
+        config, trace, make_policy(args.policy),
+        tracer=tracer, metrics=metrics,
+    )
+    out = Path(args.out or f"{args.app}.{args.policy}.trace.json")
+    write_chrome_trace(out, tracer, {
+        "workload": args.app,
+        "policy": args.policy,
+        "n_gpus": config.n_gpus,
+    })
+    totals = tracer.event_totals()
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+    print(f"{args.app}/{args.policy}: "
+          f"time={result.total_time_ns / 1e6:.2f} ms  "
+          f"{len(tracer)} trace events on {len(tracer.tracks())} tracks")
+    print(f"  instants: {rendered}")
+    print(f"  trace written to {out} (load in Perfetto or chrome://tracing)")
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer)
+        print(f"  event log written to {args.jsonl}")
+    if args.metrics_out:
+        write_prometheus(args.metrics_out, metrics.snapshot())
+        print(f"  metrics written to {args.metrics_out}")
     return 0
 
 
@@ -249,6 +382,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--fault-plan", default=None, dest="fault_plan",
                      help="inject faults: preset name, inline JSON, or "
                           "@file.json (see 'faults' subcommand)")
+    sim.add_argument("--trace", default=None, dest="trace_out",
+                     metavar="FILE",
+                     help="export a Chrome trace_event timeline per "
+                          "policy (multi-policy runs get FILE.<policy>)")
+    sim.add_argument("--metrics-out", default=None, dest="metrics_out",
+                     metavar="FILE",
+                     help="export Prometheus-style metrics per policy")
     sim.set_defaults(func=cmd_simulate)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -281,6 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject faults into every run: preset name, "
                           "inline JSON, or @file.json (trace-dependent "
                           "presets are not accepted here)")
+    swp.add_argument("--trace", default=None, dest="trace_out",
+                     metavar="DIR",
+                     help="re-run each app x policy cell under the "
+                          "tracer and write DIR/<app>.<policy>.trace.json")
+    swp.add_argument("--metrics-out", default=None, dest="metrics_out",
+                     metavar="FILE",
+                     help="write the sweep observability summary "
+                          "(runs, cache hits, retries, wall clock, "
+                          "merged counters) as JSON")
     swp.set_defaults(func=cmd_sweep)
 
     lst = sub.add_parser("list", help="list apps, policies, experiments")
@@ -305,6 +454,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the machine-invariant audit instead of a "
                           "comparison")
     flt.set_defaults(func=cmd_faults)
+
+    trc = sub.add_parser(
+        "trace",
+        help="record one run and export a Perfetto-loadable timeline",
+    )
+    trc.add_argument("app", choices=sorted(APPLICATIONS))
+    trc.add_argument("--policy", default="oasis",
+                     choices=sorted(POLICY_FACTORIES))
+    trc.add_argument("--out", default=None, metavar="FILE",
+                     help="Chrome trace_event JSON path "
+                          "(default: <app>.<policy>.trace.json)")
+    trc.add_argument("--jsonl", default=None, metavar="FILE",
+                     help="also write a JSONL event log")
+    trc.add_argument("--metrics-out", default=None, dest="metrics_out",
+                     metavar="FILE",
+                     help="also write Prometheus-style metrics")
+    trc.add_argument("--gpus", type=int, default=None)
+    trc.add_argument("--footprint-mb", type=float, default=None,
+                     dest="footprint_mb")
+    trc.add_argument("--large-pages", action="store_true")
+    trc.add_argument("--distributed", action="store_true")
+    trc.add_argument("--oversubscription", type=float, default=None)
+    trc.add_argument("--reset-threshold", type=int, default=None)
+    trc.add_argument("--fault-plan", default=None, dest="fault_plan",
+                     help="inject faults: preset name, inline JSON, or "
+                          "@file.json")
+    trc.set_defaults(func=cmd_trace)
 
     cha = sub.add_parser("characterize", help="Section IV object analysis")
     cha.add_argument("app", choices=sorted(APPLICATIONS))

@@ -8,22 +8,28 @@ per-experiment reports.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterator, Mapping
 
 
 class StatCounters:
-    """Named numeric counters with prefix grouping."""
+    """Named numeric counters with prefix grouping.
+
+    Reads of unknown keys return ``0.0`` without creating an entry, and
+    every exported view — :meth:`as_dict`, iteration, :meth:`items` — is
+    sorted by name, so reports and golden comparisons never depend on
+    counter-creation (dict-insertion) order.
+    """
 
     def __init__(self, initial: Mapping[str, float] | None = None) -> None:
-        self._counts: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, float] = {}
         if initial:
             for key, value in initial.items():
                 self._counts[key] = float(value)
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counts[name] += amount
+        counts = self._counts
+        counts[name] = counts.get(name, 0.0) + amount
 
     def __getitem__(self, name: str) -> float:
         return self._counts.get(name, 0.0)
@@ -32,7 +38,7 @@ class StatCounters:
         return name in self._counts
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._counts)
+        return iter(sorted(self._counts))
 
     def __len__(self) -> int:
         return len(self._counts)
@@ -56,13 +62,15 @@ class StatCounters:
 
     def merge(self, other: "StatCounters") -> "StatCounters":
         """Add another counter set into this one; returns self."""
+        counts = self._counts
         for key, value in other._counts.items():
-            self._counts[key] += value
+            counts[key] = counts.get(key, 0.0) + value
         return self
 
     def as_dict(self) -> dict[str, float]:
-        """A plain-dict snapshot."""
-        return dict(self._counts)
+        """A plain-dict snapshot in sorted-name order."""
+        counts = self._counts
+        return {key: counts[key] for key in sorted(counts)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{k}={v:g}" for k, v in self.items())

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 from repro.config import HOST
 from repro.faults.plan import FaultPlan
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine import StatCounters
@@ -61,6 +62,7 @@ class FaultInjector:
         capacity: "CapacityManager",
         stats: "StatCounters",
         n_gpus: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.plan = plan
         self.topology = topology
@@ -68,6 +70,7 @@ class FaultInjector:
         self.capacity = capacity
         self.stats = stats
         self.n_gpus = n_gpus
+        self.tracer = tracer
         self._rng = random.Random(plan.seed)
         self._phase = -1
         self._pending_links = list(plan.link_faults)
@@ -122,10 +125,33 @@ class FaultInjector:
                 self.stats.add("fault_inject.link_severed")
             else:
                 self.stats.add("fault_inject.link_degraded")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "faults",
+                    "fault_inject",
+                    now,
+                    {
+                        "what": "link_severed" if event.severed else "link_degraded",
+                        "a": event.a,
+                        "b": event.b,
+                        "bandwidth_factor": event.bandwidth_factor,
+                    },
+                )
         for event in [
             e for e in self._pending_retirements if e.phase <= phase_index
         ]:
             self._pending_retirements.remove(event)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "faults",
+                    "fault_inject",
+                    now,
+                    {
+                        "what": "page_retired",
+                        "gpu": event.gpu,
+                        "page": event.page,
+                    },
+                )
             self._retire(event.gpu, event.page, now, driver)
 
     def _retire(self, gpu: int, page: int, now: float, driver: "UVMDriver") -> None:

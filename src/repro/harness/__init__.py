@@ -10,12 +10,18 @@ under ``benchmarks/``) to regenerate any table or figure of the paper::
 
 from repro.harness.diskcache import DiskCache
 from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.report import ExperimentResult, format_table, geomean
+from repro.harness.report import (
+    ExperimentResult,
+    counter_table,
+    format_table,
+    geomean,
+)
 from repro.harness.runner import (
     RunFailure,
     cache_stats,
     clear_cache,
     configure,
+    last_sweep_summary,
     run_sim,
     run_sims_parallel,
     speedup_table,
@@ -29,8 +35,10 @@ __all__ = [
     "cache_stats",
     "clear_cache",
     "configure",
+    "counter_table",
     "format_table",
     "geomean",
+    "last_sweep_summary",
     "run_experiment",
     "run_sim",
     "run_sims_parallel",

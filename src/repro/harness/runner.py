@@ -65,6 +65,9 @@ _DISK: DiskCache | None = (
     else None
 )
 _JOBS = 1
+#: Observability summary of the most recent :func:`run_sims_parallel`
+#: sweep (see :func:`last_sweep_summary`).
+_LAST_SWEEP: dict | None = None
 
 
 def _cache_capacity() -> int:
@@ -110,6 +113,38 @@ def clear_cache() -> None:
         _DISK.hits = 0
         _DISK.misses = 0
         _DISK.quarantined = 0
+
+
+def last_sweep_summary() -> dict | None:
+    """Observability summary of the most recent parallel sweep.
+
+    ``None`` until :func:`run_sims_parallel` has run.  The summary is a
+    plain JSON-serializable dict::
+
+        {
+          "runs": 12, "ok": 11, "failed": 1,
+          "cache": {"hits": 4, "misses": 8,
+                    "run_retries": 1, "pool_failures": 0},
+          "wall_clock_s": {"total": 3.2,
+                           "per_run": {"st/oasis": 0.41, ...}},
+          "counters": {"fault.page": ..., "migration.count": ..., ...},
+        }
+
+    ``counters`` is the merge of every successful run's metric snapshot,
+    so a sweep report and the individual run traces can never disagree
+    on a total.
+    """
+    return _LAST_SWEEP
+
+
+def _spec_label(spec: dict) -> str:
+    """Human-readable run label for the sweep summary."""
+    label = f"{spec['app']}/{spec['policy']}"
+    if spec["footprint_mb"] is not None:
+        label += f"@{spec['footprint_mb']:g}MB"
+    if spec["seed"]:
+        label += f"#{spec['seed']}"
+    return label
 
 
 def cache_stats() -> dict[str, int]:
@@ -374,12 +409,15 @@ def _drain_pool(
     fresh: dict,
     precounted: set,
     failures: dict,
+    timings: dict | None = None,
 ) -> None:
     """Compute every ``pending`` run with crash/timeout isolation.
 
     Fills ``fresh`` (key → result) and ``failures`` (key → RunFailure).
     Keys computed in-process after a pool degradation land in
-    ``precounted`` (their cache miss is already accounted).
+    ``precounted`` (their cache miss is already accounted).  When a
+    ``timings`` dict is given, each completed run records its wall-clock
+    seconds (including queueing on a busy pool) under its key.
     """
     runner_cfg = _runner_config()
     queue: deque = deque(pending.items())
@@ -403,11 +441,11 @@ def _drain_pool(
                 deadline = (
                     time.monotonic() + timeout_s if timeout_s else None
                 )
-                inflight[future] = (key, spec, deadline)
+                inflight[future] = (key, spec, deadline, time.monotonic())
             if not broken and inflight:
                 wait_timeout = None
                 deadlines = [
-                    d for (_, _, d) in inflight.values() if d is not None
+                    d for (_, _, d, _) in inflight.values() if d is not None
                 ]
                 if deadlines:
                     wait_timeout = max(
@@ -419,7 +457,7 @@ def _drain_pool(
                     return_when=FIRST_COMPLETED,
                 )
                 for future in done:
-                    key, spec, _deadline = inflight.pop(future)
+                    key, spec, _deadline, started = inflight.pop(future)
                     try:
                         result = future.result()
                     except BrokenProcessPool:
@@ -446,17 +484,19 @@ def _drain_pool(
                         continue
                     fresh[key] = result
                     _remember(key, result)
+                    if timings is not None:
+                        timings[key] = time.monotonic() - started
                 now = time.monotonic()
                 expired = [
                     f
-                    for f, (_, _, d) in inflight.items()
+                    for f, (_, _, d, _) in inflight.items()
                     if d is not None and d <= now
                 ]
                 for future in expired:
                     # A hung run: the only way to reclaim its worker is
                     # to tear the whole pool down.
                     broken = True
-                    key, spec, _deadline = inflight.pop(future)
+                    key, spec, _deadline, _started = inflight.pop(future)
                     if attempts[key] < max_attempts:
                         _STATS["run_retries"] += 1
                         queue.append((key, spec))
@@ -469,7 +509,7 @@ def _drain_pool(
                             message=f"run exceeded {timeout_s}s wall clock",
                         )
             if broken:
-                for future, (key, spec, _deadline) in inflight.items():
+                for future, (key, spec, _deadline, _started) in inflight.items():
                     # Innocent victims of the rebuild: no attempt charged.
                     attempts[key] -= 1
                     queue.append((key, spec))
@@ -487,11 +527,12 @@ def _drain_pool(
     if pool is None and (queue or inflight):
         # The pool keeps dying: finish the remaining work in-process.
         # (Timeouts cannot be enforced without process isolation.)
-        for key, spec in list(inflight.values()):
+        for key, spec, *_rest in list(inflight.values()):
             queue.append((key, spec))
         while queue:
             key, spec = queue.popleft()
             attempts[key] += 1
+            started = time.monotonic()
             try:
                 result = _run_spec(spec)
             except Exception as exc:
@@ -504,6 +545,8 @@ def _drain_pool(
                 continue
             fresh[key] = result
             precounted.add(key)
+            if timings is not None:
+                timings[key] = time.monotonic() - started
 
 
 def run_sims_parallel(
@@ -539,6 +582,10 @@ def run_sims_parallel(
         the in-process cache (and, when enabled, the disk cache —
         workers write it, so a crashed sweep keeps its finished runs).
     """
+    global _LAST_SWEEP
+    sweep_started = time.monotonic()
+    stats_before = dict(_STATS)
+    timings: dict[tuple, float] = {}
     specs = [_normalize_request(r) for r in requests]
     n_jobs = jobs if jobs is not None else _JOBS
     if n_jobs < 1:
@@ -582,6 +629,7 @@ def run_sims_parallel(
             fresh,
             precounted,
             failures,
+            timings,
         )
 
     # Assemble results in request order.  Cache accounting reconciles:
@@ -604,12 +652,48 @@ def run_sims_parallel(
                 _CACHE.move_to_end(key)
             out.append(fresh[key])
             continue
+        started = time.monotonic()
         try:
-            out.append(_run_spec(spec))
+            result = _run_spec(spec)
         except Exception as exc:
             # Serial path (jobs=1, or a spec that failed only here):
             # diagnose instead of aborting, matching pool semantics.
             out.append(_failure_from(spec, 1, exc))
+            continue
+        timings.setdefault(key, time.monotonic() - started)
+        out.append(result)
+
+    # Sweep-level observability summary: per-run metric snapshots are
+    # merged into one counter view, and cache/retry accounting is the
+    # delta over this sweep only (not process lifetime).
+    merged: dict[tuple, dict[str, float]] = {}
+    counters: dict[str, float] = {}
+    for spec, result in zip(specs, out):
+        key = _spec_key(spec)
+        if isinstance(result, SimulationResult) and key not in merged:
+            snap_counters = result.metrics_snapshot().counters
+            merged[key] = snap_counters
+            for name, value in snap_counters.items():
+                counters[name] = counters.get(name, 0.0) + value
+    n_failed = sum(1 for r in out if isinstance(r, RunFailure))
+    _LAST_SWEEP = {
+        "runs": len(specs),
+        "ok": len(specs) - n_failed,
+        "failed": n_failed,
+        "cache": {
+            name: _STATS[name] - stats_before[name]
+            for name in ("hits", "misses", "run_retries", "pool_failures")
+        },
+        "wall_clock_s": {
+            "total": time.monotonic() - sweep_started,
+            "per_run": {
+                _spec_label(spec): timings[key]
+                for spec in specs
+                if (key := _spec_key(spec)) in timings
+            },
+        },
+        "counters": {name: counters[name] for name in sorted(counters)},
+    }
     return out
 
 

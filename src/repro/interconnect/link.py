@@ -108,6 +108,17 @@ class Link:
         else:
             self.bandwidth *= factor
 
+    def snapshot(self) -> dict:
+        """Plain-dict state for exporters and metrics sampling."""
+        return {
+            "name": self.name,
+            "bytes": self._bytes,
+            "messages": self._messages,
+            "busy_time_ns": self.busy_time_ns,
+            "healthy": self.healthy,
+            "severed": self._severed,
+        }
+
     def reset_traffic(self) -> None:
         """Zero the traffic counters (start of a fresh run)."""
         self._bytes = 0

@@ -32,11 +32,18 @@ class Topology:
     transfer with no healthy route raises :class:`UnreachableDeviceError`.
     """
 
-    def __init__(self, n_gpus: int, latency: LatencyModel, stats=None) -> None:
+    def __init__(
+        self, n_gpus: int, latency: LatencyModel, stats=None, tracer=None
+    ) -> None:
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
         self._n_gpus = n_gpus
         self._stats = stats
+        self._tracer = tracer
+        #: Sim-time anchor for reroute instants.  The topology has no
+        #: clock of its own; the machine advances this at each phase
+        #: boundary via :meth:`note_time` (only while tracing).
+        self._now_ns = 0.0
         self._links: dict[tuple[int, int], Link] = {}
         for a in range(n_gpus):
             self._links[(HOST, a)] = Link(
@@ -52,6 +59,19 @@ class Topology:
     @property
     def n_gpus(self) -> int:
         return self._n_gpus
+
+    def note_time(self, now_ns: float) -> None:
+        """Update the sim-time anchor used to timestamp trace instants."""
+        self._now_ns = now_ns
+
+    def _trace_reroute(self, src: int, dst: int, via: int, n: int) -> None:
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.instant(
+                "faults",
+                "reroute",
+                self._now_ns,
+                {"src": src, "dst": dst, "via": via, "messages": n},
+            )
 
     def link(self, src: int, dst: int) -> Link:
         """The link joining ``src`` and ``dst`` (order-insensitive)."""
@@ -113,6 +133,7 @@ class Topology:
                 ) from None
             if self._stats is not None:
                 self._stats.add("fault_inject.reroutes")
+            self._trace_reroute(src, dst, via, 1)
             return self.link(src, via).record(n_bytes) + self.link(
                 via, dst
             ).record(n_bytes)
@@ -131,6 +152,7 @@ class Topology:
                 ) from None
             if self._stats is not None:
                 self._stats.add("fault_inject.reroutes", n_messages)
+            self._trace_reroute(src, dst, via, n_messages)
             self.link(src, via).record_bulk(n_bytes, n_messages)
             self.link(via, dst).record_bulk(n_bytes, n_messages)
 

@@ -108,6 +108,10 @@ class CapacityManager:
                 return page
         raise LookupError(f"GPU {gpu} has no evictable page")
 
+    def pressure_snapshot(self) -> list[int]:
+        """Per-GPU resident-page counts (for metrics gauges)."""
+        return [len(lru) for lru in self._lru]
+
     def reset(self) -> None:
         """Forget all residency and retirements (fresh run)."""
         for lru in self._lru:

@@ -23,6 +23,12 @@ from repro.faults import FaultInjector
 from repro.interconnect import Topology
 from repro.memory import AccessCounterFile, CapacityManager, PageTables
 from repro.memory.page import policy_name
+from repro.obs.metrics import (
+    FAULT_LATENCY_BUCKETS_NS,
+    LINK_UTILIZATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.base import PolicyEngine
 from repro.sim.fastpath import FastReplay
 from repro.sim.results import PhaseResult, SimulationResult
@@ -38,7 +44,12 @@ class Machine:
     """One simulated multi-GPU system executing one trace."""
 
     def __init__(
-        self, config: SystemConfig, trace: Trace, policy: PolicyEngine
+        self,
+        config: SystemConfig,
+        trace: Trace,
+        policy: PolicyEngine,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if trace.n_gpus != config.n_gpus:
             raise ValueError(
@@ -54,6 +65,37 @@ class Machine:
         self.trace = trace
         self.policy = policy
         self.stats = StatCounters()
+        # Observability: the null tracer keeps every hook a single
+        # attribute test, so an unobserved run is bit-identical (and
+        # fast-path eligible) exactly as before this subsystem existed.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind_stats(self.stats)
+        self._obs_on = self.tracer.enabled or metrics is not None
+        # Hot-path caches for observed runs: per-GPU track names and the
+        # fault-latency histogram, resolved once instead of per fault.
+        self._gpu_tracks = tuple(f"gpu{g}" for g in range(config.n_gpus))
+        self._fault_latencies = (
+            metrics.histogram(
+                "fault.latency_ns", FAULT_LATENCY_BUCKETS_NS
+            ).sink()
+            if metrics is not None
+            else None
+        )
+        # Faults are the hottest event (one per serviced fault): emit
+        # through per-GPU columnar sinks rather than per-event objects.
+        self._fault_rows = (
+            tuple(
+                self.tracer.sink(
+                    track, "fault",
+                    ("page", "protection", "write", "object", "stall_ns"),
+                )
+                for track in self._gpu_tracks
+            )
+            if self.tracer.enabled
+            else None
+        )
         coherent = not getattr(policy, "requires_incoherent_page_tables", False)
         self.page_tables = PageTables(
             n_pages=trace.n_pages,
@@ -62,7 +104,10 @@ class Machine:
             first_page=trace.first_page,
             coherent=coherent,
         )
-        self.topology = Topology(config.n_gpus, config.latency, stats=self.stats)
+        self.topology = Topology(
+            config.n_gpus, config.latency, stats=self.stats,
+            tracer=self.tracer,
+        )
         self.tlbs = [
             TLBHierarchy(config.l1_tlb, config.l2_tlb, config.latency)
             for _ in range(config.n_gpus)
@@ -83,6 +128,8 @@ class Machine:
             capacity=self.capacity,
             counters=self.access_counters,
             stats=self.stats,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         # Fault injection: an empty (or absent) plan builds no injector at
         # all, so the healthy path stays branch-free and bit-identical.
@@ -95,6 +142,7 @@ class Machine:
                 capacity=self.capacity,
                 stats=self.stats,
                 n_gpus=config.n_gpus,
+                tracer=self.tracer,
             )
         else:
             self.injector = None
@@ -111,8 +159,10 @@ class Machine:
         self._allocated: set[int] = set()
         policy.attach(self)
         # Vectorized steady-state replayer; None when the run must stay on
-        # the per-record path (capacity manager, REPRO_FORCE_SLOW_PATH).
-        self._fast = FastReplay.for_machine(self)
+        # the per-record path (capacity manager, REPRO_FORCE_SLOW_PATH,
+        # or an attached tracer/metrics registry — per-event observation
+        # needs the exact per-record path, which is bit-identical anyway).
+        self._fast = None if self._obs_on else FastReplay.for_machine(self)
 
     # -- setup helpers ----------------------------------------------------
 
@@ -242,7 +292,19 @@ class Machine:
         service = lat.fault_driver_occupancy_ns + resolution
         done = self.driver.queue.submit(self.clocks[gpu], service)
         stall = (done - self.clocks[gpu]) + lat.fault_service_ns
-        self.clocks[gpu] += stall / lat.fault_parallelism
+        charged = stall / lat.fault_parallelism
+        if self._obs_on:
+            # The sink row carries the stall, so the latency histogram is
+            # derived from it at end of run (_flush_observations); only a
+            # registry without a tracer observes live.
+            if self._fault_rows is not None:
+                self._fault_rows[gpu].append(
+                    (self.clocks[gpu], page, protection, is_write, obj_id,
+                     charged)
+                )
+            elif self._fault_latencies is not None:
+                self._fault_latencies.append(charged)
+        self.clocks[gpu] += charged
 
     # -- run loop -------------------------------------------------------------
 
@@ -250,16 +312,44 @@ class Machine:
         """Replay every phase and return the result."""
         phases: list[PhaseResult] = []
         now = 0.0
+        tracer = self.tracer
+        tracing = tracer.enabled
+        span_tracks: list[str] = []
+        if tracing:
+            span_tracks = [
+                f"gpu{g}" for g in range(self.config.n_gpus)
+            ] + ["driver"]
+            run_args = {
+                "workload": self.trace.name,
+                "policy": self.policy.name,
+            }
+            for track in span_tracks:
+                tracer.begin_span(track, "run", 0.0, run_args)
         for index, phase in enumerate(self.trace.phases):
-            self._do_allocations(index)
+            if tracing:
+                self.topology.note_time(now)
+            self._do_allocations(index, now)
             if self.injector is not None:
                 self.injector.start_phase(index, now, self.driver)
             self.policy.on_phase_start(index, phase)
+            if tracing:
+                for track in span_tracks:
+                    tracer.begin_span(
+                        track, phase.name, now,
+                        {"phase": index, "explicit": phase.explicit},
+                    )
             phase_result = self._run_phase(phase, start_time=now, index=index)
             phases.append(phase_result)
             now += phase_result.duration_ns
+            if tracing:
+                for track in span_tracks:
+                    tracer.end_span(track, now)
             self._sync_clocks(now)
-            self._do_frees(index)
+            self._do_frees(index, now)
+        if tracing:
+            tracer.finish(now)
+        if self._obs_on:
+            self._flush_observations()
         return SimulationResult(
             workload=self.trace.name,
             policy=self.policy.name,
@@ -271,17 +361,51 @@ class Machine:
             traffic=self.topology.traffic_snapshot(),
             policy_histogram=self.page_tables.policy_histogram(),
             l2_miss_policy_counts=dict(self.l2_miss_policy_counts),
+            metrics=self._metrics_extra(),
         )
 
-    def _do_allocations(self, phase_index: int) -> None:
+    def _flush_observations(self) -> None:
+        """Fold deferred per-event observations into the histograms.
+
+        When both a tracer and a registry are attached the hot fault path
+        records each fault once (in the per-GPU columnar sinks); the
+        latency histogram is derived from those rows here — before the
+        sinks are drained for export — instead of being paid per fault.
+        """
+        if self._fault_rows is not None and self._fault_latencies is not None:
+            pend = self._fault_latencies
+            for rows in self._fault_rows:
+                pend.extend(row[5] for row in rows)
+        self.driver.flush_observations()
+
+    def _metrics_extra(self) -> dict | None:
+        """Gauges/histograms for the result (None on unobserved runs)."""
+        if self.metrics is None:
+            return None
+        snapshot = self.metrics.snapshot()
+        return {
+            "gauges": snapshot.gauges,
+            "histograms": snapshot.histograms,
+        }
+
+    def _do_allocations(self, phase_index: int, now: float = 0.0) -> None:
         for obj in self.trace.objects:
             if obj.alloc_phase == phase_index and obj.obj_id not in self._allocated:
                 self._allocated.add(obj.obj_id)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "driver", "alloc", now,
+                        {"object": obj.name, "pages": obj.n_pages},
+                    )
                 self.policy.on_alloc(obj)
 
-    def _do_frees(self, phase_index: int) -> None:
+    def _do_frees(self, phase_index: int, now: float = 0.0) -> None:
         for obj in self.trace.objects:
             if obj.free_phase == phase_index:
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "driver", "free", now, {"object": obj.name}
+                    )
                 self.policy.on_free(obj)
 
     def _run_phase(self, phase, start_time: float, index: int = 0) -> PhaseResult:
@@ -314,6 +438,10 @@ class Machine:
         duration = max(gpu_busy, driver_busy, link_busy)
         if not math.isfinite(duration):
             raise RuntimeError(f"non-finite phase duration in {phase.name!r}")
+        if self._obs_on and duration > 0.0:
+            self._sample_phase(
+                start_time, duration, link_busy_before, driver_busy
+            )
         return PhaseResult(
             name=phase.name,
             explicit=phase.explicit,
@@ -322,6 +450,50 @@ class Machine:
             driver_busy_ns=driver_busy,
             link_busy_ns=link_busy,
         )
+
+    def _sample_phase(
+        self,
+        start_ns: float,
+        duration_ns: float,
+        link_busy_before: list[float],
+        driver_busy_ns: float,
+    ) -> None:
+        """Per-phase utilization samples (tracing/metrics runs only).
+
+        Each link's busy-time delta over the phase becomes a utilization
+        sample on its own trace track, a per-link gauge, and one
+        observation in the shared utilization histogram; the driver and
+        capacity manager get gauges too.  Pure reads — simulation state
+        is never touched, so observed runs stay bit-identical.
+        """
+        end_ns = start_ns + duration_ns
+        tracer = self.tracer
+        metrics = self.metrics
+        for link, before in zip(self.topology.links(), link_busy_before):
+            utilization = (link.busy_time_ns - before) / duration_ns
+            if tracer.enabled:
+                tracer.sample(
+                    f"link:{link.name}", "utilization", end_ns, utilization
+                )
+            if metrics is not None:
+                metrics.observe(
+                    "link.phase_utilization",
+                    utilization,
+                    LINK_UTILIZATION_BUCKETS,
+                )
+                metrics.set_gauge(
+                    f"link.{link.name}.utilization", utilization
+                )
+        if metrics is not None:
+            metrics.set_gauge(
+                "driver.phase_utilization", driver_busy_ns / duration_ns
+            )
+            for gpu, resident in enumerate(
+                self.capacity.pressure_snapshot()
+            ):
+                metrics.set_gauge(
+                    f"capacity.gpu{gpu}.resident_pages", resident
+                )
 
     def _sync_clocks(self, now: float) -> None:
         """Kernel boundaries are barriers: everyone meets at ``now``."""
@@ -332,7 +504,17 @@ class Machine:
 
 
 def simulate(
-    config: SystemConfig, trace: Trace, policy: PolicyEngine
+    config: SystemConfig,
+    trace: Trace,
+    policy: PolicyEngine,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a machine, run it, return the result."""
-    return Machine(config, trace, policy).run()
+    """Convenience wrapper: build a machine, run it, return the result.
+
+    Pass a :class:`~repro.obs.RecordingTracer` and/or a
+    :class:`~repro.obs.MetricsRegistry` to observe the run; both default
+    to off, which keeps the vectorized fast path engaged and the result
+    bit-identical to an unobserved run.
+    """
+    return Machine(config, trace, policy, tracer=tracer, metrics=metrics).run()

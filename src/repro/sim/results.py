@@ -20,13 +20,21 @@ class PhaseResult:
 
     @property
     def bottleneck(self) -> str:
-        """Which resource bounded the phase."""
-        values = {
-            "gpu": self.gpu_busy_ns,
-            "driver": self.driver_busy_ns,
-            "link": self.link_busy_ns,
-        }
-        return max(values, key=values.get)
+        """Which resource bounded the phase.
+
+        Ties break by a fixed priority — ``gpu`` > ``driver`` > ``link``
+        — so the answer never depends on dict ordering (a fully
+        overlapped phase where GPU and link drain together is reported
+        as GPU-bound).
+        """
+        best_name, best_value = "gpu", self.gpu_busy_ns
+        for name, value in (
+            ("driver", self.driver_busy_ns),
+            ("link", self.link_busy_ns),
+        ):
+            if value > best_value:
+                best_name, best_value = name, value
+        return best_name
 
 
 @dataclass
@@ -43,65 +51,101 @@ class SimulationResult:
     traffic: dict[str, int]
     policy_histogram: dict[int, int]
     l2_miss_policy_counts: dict[str, int] = field(default_factory=dict)
+    #: Gauges/histograms captured when the run was observed with a
+    #: :class:`~repro.obs.MetricsRegistry`; ``None`` on unobserved runs
+    #: (and omitted from :meth:`to_dict` so default results stay
+    #: bit-identical to pre-observability snapshots).
+    metrics: dict | None = None
+
+    # -- observability ---------------------------------------------------
+
+    def metrics_snapshot(self):
+        """The canonical counter view of this run.
+
+        Every consumer that reports a count (sweep tables, charts,
+        exporters) reads through this snapshot, so a report and a trace
+        of the same run can never disagree on a value.
+        """
+        from repro.obs.metrics import MetricsSnapshot
+
+        extra = self.metrics or {}
+        return MetricsSnapshot.from_counters(
+            self.stats,
+            gauges=extra.get("gauges", {}),
+            histograms=extra.get("histograms", {}),
+        )
 
     # -- fault accounting -----------------------------------------------
+    #
+    # Every count property reads through :meth:`metrics_snapshot` — the
+    # same view the exporters serialize — so reports, charts and traces
+    # of one run always agree.
 
     @property
     def page_faults(self) -> float:
-        return self.stats.get("fault.page", 0.0)
+        return self.metrics_snapshot().counter("fault.page")
 
     @property
     def protection_faults(self) -> float:
-        return self.stats.get("fault.protection", 0.0)
+        return self.metrics_snapshot().counter("fault.protection")
 
     @property
     def total_faults(self) -> float:
-        """All GPU page faults serviced by the UVM driver (Fig. 24)."""
-        return self.page_faults + self.protection_faults
+        """All GPU page faults serviced by the UVM driver (Fig. 24).
+
+        Not ``total("fault.")``: the per-GPU / per-object breakdown
+        counters (``fault.by_gpu.*``, ``fault.by_object.*``) share the
+        prefix and would triple-count.
+        """
+        snapshot = self.metrics_snapshot()
+        return snapshot.counter("fault.page") + snapshot.counter(
+            "fault.protection"
+        )
 
     @property
     def migrations(self) -> float:
-        return self.stats.get("migration.count", 0.0)
+        return self.metrics_snapshot().counter("migration.count")
 
     @property
     def duplications(self) -> float:
-        return self.stats.get("duplication.count", 0.0)
+        return self.metrics_snapshot().counter("duplication.count")
 
     @property
     def collapses(self) -> float:
-        return self.stats.get("collapse.count", 0.0)
+        return self.metrics_snapshot().counter("collapse.count")
 
     @property
     def evictions(self) -> float:
-        return self.stats.get("eviction.count", 0.0)
+        return self.metrics_snapshot().counter("eviction.count")
 
     # -- resilience accounting (fault injection) ---------------------------
 
     @property
     def migration_retries(self) -> float:
         """Transient migration attempts retried after injected failures."""
-        return self.stats.get("driver.migration_retries", 0.0)
+        return self.metrics_snapshot().counter("driver.migration_retries")
 
     @property
     def migration_fallbacks(self) -> float:
         """Installs degraded to zero-copy remote mappings by faults."""
-        return self.stats.get("driver.migration_fallbacks", 0.0)
+        return self.metrics_snapshot().counter("driver.migration_fallbacks")
 
     @property
     def reroutes(self) -> float:
         """Transfers rerouted around severed links."""
-        return self.stats.get("fault_inject.reroutes", 0.0)
+        return self.metrics_snapshot().counter("fault_inject.reroutes")
 
     @property
     def retired_pages(self) -> float:
         """Frames retired by the fault plan during the run."""
-        return self.stats.get("fault_inject.page_retired", 0.0)
+        return self.metrics_snapshot().counter("fault_inject.page_retired")
 
     def resilience_summary(self) -> dict[str, float]:
         """Every injection/resilience counter (empty on a healthy run)."""
+        snapshot = self.metrics_snapshot()
         return {
             key: value
-            for key, value in sorted(self.stats.items())
+            for key, value in snapshot.counters.items()
             if key.startswith(("fault_inject.", "driver.", "access.degraded"))
         }
 
@@ -160,6 +204,7 @@ class SimulationResult:
                 for bits, count in self.policy_histogram.items()
             },
             "l2_miss_policy_counts": dict(self.l2_miss_policy_counts),
+            **({"metrics": dict(self.metrics)} if self.metrics else {}),
         }
 
     @classmethod
@@ -190,6 +235,10 @@ class SimulationResult:
             },
             l2_miss_policy_counts=dict(
                 payload.get("l2_miss_policy_counts", {})
+            ),
+            metrics=(
+                dict(payload["metrics"])
+                if payload.get("metrics") else None
             ),
         )
 

@@ -26,11 +26,24 @@ from repro.config import HOST, SystemConfig
 from repro.engine import SerialServer, StatCounters
 from repro.interconnect import Topology
 from repro.memory import AccessCounterFile, CapacityManager, PageTables
+from repro.obs.metrics import (
+    TRANSFER_BYTES_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.tlb import TLBHierarchy
 
 
 class UVMDriver:
-    """The host-side UVM driver: page-management primitives + fault queue."""
+    """The host-side UVM driver: page-management primitives + fault queue.
+
+    Observability: every primitive emits one typed instant event on the
+    ``"driver"`` trace track, timestamped at the driver FIFO clock
+    (:attr:`SerialServer.free_at` — the last completion time, since the
+    primitive's own service is submitted by the machine only after its
+    resolution cost is known).  With the default null tracer each hook
+    is a single attribute test.
+    """
 
     def __init__(
         self,
@@ -41,6 +54,8 @@ class UVMDriver:
         capacity: CapacityManager,
         counters: AccessCounterFile,
         stats: StatCounters,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config
         self.page_tables = page_tables
@@ -49,12 +64,67 @@ class UVMDriver:
         self.capacity = capacity
         self.counters = counters
         self.stats = stats
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Single hot-path guard: observability hooks cost one attribute
+        #: test per primitive when neither a tracer nor a registry is on.
+        self._obs = tracer.enabled or metrics is not None
+        self._transfer_bytes = (
+            metrics.histogram("transfer.bytes", TRANSFER_BYTES_BUCKETS).sink()
+            if metrics is not None
+            else None
+        )
+        self._page_bytes = float(config.page_size)
+        # Hot primitives (one event per serviced fault) emit through
+        # columnar sinks; cold events (evict, retry) use _note below.
+        if tracer.enabled:
+            self._migrate_rows = tracer.sink(
+                "driver", "migrate", ("gpu", "page", "src", "copied")
+            )
+            self._duplicate_rows = tracer.sink(
+                "driver", "duplicate", ("gpu", "page", "src")
+            )
+            self._collapse_rows = tracer.sink(
+                "driver", "collapse", ("gpu", "page", "invalidated", "copied")
+            )
+            self._remote_map_rows = tracer.sink(
+                "driver", "remote_map", ("gpu", "page")
+            )
+        else:
+            self._migrate_rows = None
+            self._duplicate_rows = None
+            self._collapse_rows = None
+            self._remote_map_rows = None
         #: FIFO model of the driver CPU servicing faults one at a time.
         self.queue = SerialServer()
         #: :class:`repro.faults.FaultInjector` when a fault plan is active
         #: (set by the machine after construction); ``None`` on a healthy
         #: system, keeping every fault check a single attribute test.
         self.injector = None
+
+    def _note(self, kind: str, n_bytes: float | None = None, **args) -> None:
+        """Emit one driver-track instant (and optional size observation)."""
+        if self.tracer.enabled:
+            self.tracer.instant("driver", kind, self.queue.free_at, args)
+        if self._transfer_bytes is not None and n_bytes is not None:
+            self._transfer_bytes.append(float(n_bytes))
+
+    def flush_observations(self) -> None:
+        """Derive deferred transfer-size observations from the sink rows.
+
+        With both a tracer and a registry attached, the hot primitives
+        record each event once (in the tracer's columnar sinks) and skip
+        the per-event histogram append; the machine calls this at end of
+        run — before the sinks are drained for export — to fold the
+        implied sizes into ``transfer.bytes`` in one pass.
+        """
+        pend = self._transfer_bytes
+        if pend is None or self._migrate_rows is None:
+            return
+        pb = self._page_bytes
+        pend.extend(pb if row[4] else 0.0 for row in self._migrate_rows)
+        pend.extend(pb for _ in self._duplicate_rows)
+        pend.extend(pb if row[4] else 0.0 for row in self._collapse_rows)
 
     # -- helpers -----------------------------------------------------------
 
@@ -124,6 +194,14 @@ class UVMDriver:
             self.stats.add("driver.migration_retries", verdict.retries)
             self.stats.add("driver.backoff_ns", verdict.backoff_ns)
             extra = verdict.backoff_ns
+            if self._obs:
+                self._note(
+                    "retry",
+                    gpu=gpu,
+                    page=page,
+                    retries=verdict.retries,
+                    backoff_ns=verdict.backoff_ns,
+                )
         if not verdict.proceed:
             return False, extra, verdict.reason
         return True, extra, ""
@@ -171,6 +249,18 @@ class UVMDriver:
         self.counters.reset_group(page)
         self.stats.add("migration.count")
         self.stats.add("migration.bytes", self.config.page_size)
+        if self._obs:
+            # Sink rows subsume the size observation (derived by
+            # flush_observations at end of run); only a registry without
+            # a tracer observes live.
+            if self._migrate_rows is not None:
+                self._migrate_rows.append(
+                    (self.queue.free_at, gpu, page, src, not already_local)
+                )
+            elif self._transfer_bytes is not None:
+                self._transfer_bytes.append(
+                    0.0 if already_local else self._page_bytes
+                )
         cost += self.config.latency.pte_update_ns
         cost += self._maybe_evict(gpu, protect=page)
         return cost + extra
@@ -219,6 +309,13 @@ class UVMDriver:
         self.capacity.note_resident(gpu, page)
         self.stats.add("duplication.count")
         self.stats.add("duplication.bytes", self.config.page_size)
+        if self._obs:
+            if self._duplicate_rows is not None:
+                self._duplicate_rows.append(
+                    (self.queue.free_at, gpu, page, src)
+                )
+            elif self._transfer_bytes is not None:
+                self._transfer_bytes.append(self._page_bytes)
         cost += self.config.latency.pte_update_ns
         cost += self._maybe_evict(gpu, protect=page)
         return cost
@@ -258,6 +355,16 @@ class UVMDriver:
         self.capacity.note_resident(gpu, page)
         self.stats.add("collapse.count")
         self.stats.add("collapse.invalidated_copies", len(victims))
+        if self._obs:
+            if self._collapse_rows is not None:
+                self._collapse_rows.append(
+                    (self.queue.free_at, gpu, page, len(victims),
+                     not had_copy)
+                )
+            elif self._transfer_bytes is not None:
+                self._transfer_bytes.append(
+                    0.0 if had_copy else self._page_bytes
+                )
         cost += self.config.latency.pte_update_ns
         cost += self._maybe_evict(gpu, protect=page)
         return cost
@@ -266,6 +373,8 @@ class UVMDriver:
         """Map the page into ``gpu``'s page table pointing at remote memory."""
         self.page_tables.map_remote(gpu, page)
         self.stats.add("remote_map.count")
+        if self._remote_map_rows is not None:
+            self._remote_map_rows.append((self.queue.free_at, gpu, page))
         return self.config.latency.pte_update_ns
 
     def ideal_copy(self, gpu: int, page: int) -> float:
@@ -284,6 +393,13 @@ class UVMDriver:
             pt.add_copy(gpu, page)
             self.capacity.note_resident(gpu, page)
             self.stats.add("duplication.count")
+            if self._obs:
+                if self._duplicate_rows is not None:
+                    self._duplicate_rows.append(
+                        (self.queue.free_at, gpu, page, src)
+                    )
+                elif self._transfer_bytes is not None:
+                    self._transfer_bytes.append(self._page_bytes)
         pt.map_local(gpu, page, writable=True)
         cost += self.config.latency.pte_update_ns
         cost += self._maybe_evict(gpu, protect=page)
@@ -324,6 +440,8 @@ class UVMDriver:
             cost += self._shootdown(page, [gpu])
         self.capacity.note_released(gpu, page)
         self.stats.add("eviction.copy_dropped")
+        if self._obs:
+            self._note("evict", gpu=gpu, page=page, copy_dropped=True)
         return cost + self.config.latency.pte_update_ns
 
     def evict(self, page: int) -> float:
@@ -343,4 +461,12 @@ class UVMDriver:
             cost += self._transfer(owner, HOST)
         pt.set_exclusive(page, HOST)
         self.stats.add("eviction.count")
+        if self._obs:
+            self._note(
+                "evict",
+                n_bytes=self.config.page_size if owner != HOST else 0.0,
+                page=page,
+                owner=owner,
+                copy_dropped=False,
+            )
         return cost

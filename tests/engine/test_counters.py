@@ -53,3 +53,14 @@ class TestStatCounters:
         snap = c.as_dict()
         c.add("x")
         assert snap["x"] == 1.0
+
+    def test_iteration_independent_of_insertion_order(self):
+        a = StatCounters()
+        for key in ("z", "m", "a"):
+            a.add(key)
+        b = StatCounters()
+        for key in ("a", "z", "m"):
+            b.add(key)
+        assert list(a) == list(b) == ["a", "m", "z"]
+        assert list(a.items()) == list(b.items())
+        assert list(a.as_dict()) == ["a", "m", "z"]

@@ -189,3 +189,36 @@ class TestSerialFailureIsolation:
              "footprint_mb": 4.0, "seed": 0, "policy_kwargs": {}}
         b = dict(a, policy_kwargs={"neighbor_window": 0})
         assert _spec_key(a) != _spec_key(b)
+
+
+class TestSweepSummary:
+    def test_summary_shape_and_counts(self, config):
+        from repro.harness import last_sweep_summary
+
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "mm", "oasis", SMALL),
+        ]
+        run_sims_parallel(requests, jobs=2)
+        summary = last_sweep_summary()
+        assert summary is not None
+        assert summary["runs"] == 2
+        assert summary["ok"] == 2 and summary["failed"] == 0
+        assert summary["cache"]["misses"] == 2
+        per_run = summary["wall_clock_s"]["per_run"]
+        assert set(per_run) == {"mm/on_touch@4MB", "mm/oasis@4MB"}
+        assert all(t >= 0.0 for t in per_run.values())
+        assert summary["wall_clock_s"]["total"] >= 0.0
+        # Counters are merged from every run's metrics snapshot.
+        assert summary["counters"]["fault.page"] > 0
+        assert list(summary["counters"]) == sorted(summary["counters"])
+
+    def test_warm_sweep_reports_hits(self, config):
+        from repro.harness import last_sweep_summary
+
+        requests = [(config, "mm", "on_touch", SMALL)]
+        run_sims_parallel(requests, jobs=2)
+        run_sims_parallel(requests, jobs=2)
+        summary = last_sweep_summary()
+        assert summary["cache"]["hits"] == 1
+        assert summary["cache"]["misses"] == 0

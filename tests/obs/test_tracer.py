@@ -1,0 +1,108 @@
+"""Tracer unit tests: spans, instants, samples, the null tracer."""
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    RecordingTracer,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        t = Tracer()
+        t.begin_span("gpu0", "run", 0.0, {"a": 1})
+        t.instant("gpu0", "fault", 1.0)
+        t.sample("link:x", "utilization", 2.0, 0.5)
+        t.end_span("gpu0", 3.0)
+        t.finish(4.0)  # nothing recorded, nothing raised
+
+    def test_recording_tracer_is_enabled(self):
+        assert RecordingTracer().enabled is True
+
+
+class TestSpans:
+    def test_span_nesting_depth(self):
+        t = RecordingTracer()
+        t.begin_span("gpu0", "run", 0.0)
+        t.begin_span("gpu0", "phase0", 10.0)
+        t.end_span("gpu0", 25.0)
+        t.end_span("gpu0", 30.0)
+        inner, outer = t.spans
+        assert (inner.name, inner.depth) == ("phase0", 1)
+        assert (outer.name, outer.depth) == ("run", 0)
+        assert inner.start_ns == 10.0 and inner.duration_ns == 15.0
+        assert outer.end_ns == 30.0
+
+    def test_stacks_are_per_track(self):
+        t = RecordingTracer()
+        t.begin_span("gpu0", "a", 0.0)
+        t.begin_span("gpu1", "b", 0.0)
+        t.end_span("gpu0", 5.0)
+        t.end_span("gpu1", 7.0)
+        assert {s.track: s.name for s in t.spans} == {"gpu0": "a", "gpu1": "b"}
+        assert all(s.depth == 0 for s in t.spans)
+
+    def test_end_without_open_raises(self):
+        with pytest.raises(ValueError, match="no open span"):
+            RecordingTracer().end_span("gpu0", 1.0)
+
+    def test_finish_closes_everything(self):
+        t = RecordingTracer()
+        t.begin_span("gpu0", "run", 0.0)
+        t.begin_span("gpu0", "phase", 1.0)
+        t.begin_span("driver", "run", 0.0)
+        assert t.open_span_count() == 3
+        t.finish(9.0)
+        assert t.open_span_count() == 0
+        assert all(s.end_ns == 9.0 for s in t.spans)
+
+    def test_args_frozen_sorted(self):
+        t = RecordingTracer()
+        t.begin_span("gpu0", "run", 0.0, {"b": 2, "a": 1})
+        t.end_span("gpu0", 1.0)
+        assert t.spans[0].args == (("a", 1), ("b", 2))
+
+
+class TestInstants:
+    def test_typed_vocabulary_enforced(self):
+        t = RecordingTracer()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            t.instant("gpu0", "explosion", 0.0)
+
+    def test_every_known_kind_accepted(self):
+        t = RecordingTracer()
+        for ts, kind in enumerate(sorted(EVENT_KINDS)):
+            t.instant("driver", kind, float(ts))
+        assert len(t.instants) == len(EVENT_KINDS)
+
+    def test_event_totals(self):
+        t = RecordingTracer()
+        t.instant("gpu0", "fault", 0.0)
+        t.instant("gpu1", "fault", 1.0)
+        t.instant("driver", "migrate", 2.0)
+        assert t.event_totals() == {"fault": 2, "migrate": 1}
+
+
+class TestIntrospection:
+    def test_tracks_sorted_union(self):
+        t = RecordingTracer()
+        t.begin_span("gpu1", "run", 0.0)
+        t.end_span("gpu1", 1.0)
+        t.instant("driver", "migrate", 0.0)
+        t.sample("link:x", "utilization", 1.0, 0.1)
+        assert t.tracks() == ["driver", "gpu1", "link:x"]
+
+    def test_len_counts_all_event_types(self):
+        t = RecordingTracer()
+        t.begin_span("gpu0", "run", 0.0)
+        t.end_span("gpu0", 1.0)
+        t.instant("gpu0", "fault", 0.5)
+        t.sample("link:x", "utilization", 1.0, 0.5)
+        assert len(t) == 3

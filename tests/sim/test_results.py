@@ -62,6 +62,15 @@ class TestSimulationResult:
         phase = PhaseResult("k", True, 10.0, 1.0, 10.0, 2.0)
         assert phase.bottleneck == "driver"
 
+    def test_phase_bottleneck_tie_break(self):
+        # Ties resolve gpu > driver > link so the label is deterministic.
+        phase = PhaseResult("k", True, 10.0, 5.0, 5.0, 5.0)
+        assert phase.bottleneck == "gpu"
+        phase = PhaseResult("k", True, 10.0, 1.0, 5.0, 5.0)
+        assert phase.bottleneck == "driver"
+        phase = PhaseResult("k", True, 10.0, 1.0, 2.0, 5.0)
+        assert phase.bottleneck == "link"
+
     def test_summary_mentions_workload_and_policy(self):
         line = make_result().summary()
         assert "w" in line and "p" in line
