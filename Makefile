@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep verify verify-faults verify-obs
+.PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
+	verify-sim golden-update
 
 test:
 	$(PYTHON) -m pytest -q
@@ -17,7 +18,19 @@ verify-faults:
 verify-obs:
 	$(PYTHON) -m pytest tests/obs -q
 
-verify: verify-faults verify-obs
+# Simulator-wide verification: the tier-1 verify/workload suites, then
+# the full phase-boundary invariant sweep, every differential oracle
+# lane, and the golden-digest regression over all workloads x policies.
+verify-sim:
+	$(PYTHON) -m pytest tests/verify tests/workloads/test_table2_conformance.py -q
+	$(PYTHON) -m repro.cli verify --jobs 4
+
+verify: verify-faults verify-obs verify-sim
+
+# Re-pin tests/golden/golden.json after an intentional model change;
+# commit the file so the review diff names every counter that moved.
+golden-update:
+	$(PYTHON) -m repro.cli verify --update-golden --jobs 4
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py

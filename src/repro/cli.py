@@ -13,6 +13,10 @@ Subcommands:
 * ``trace APP [--policy P] [--out FILE]`` — record one run with the
   observability tracer and export a Chrome ``trace_event`` JSON timeline
   (open in Perfetto / ``chrome://tracing``).
+* ``verify`` — simulator-wide verification: phase-boundary invariants,
+  differential oracles across every execution mode, golden-digest
+  regression (``--update-golden`` re-pins), and a seeded trace fuzzer
+  with delta-debugging shrinking (``--fuzz``).
 
 ``simulate`` and ``sweep`` also accept ``--trace`` / ``--metrics-out``
 to export timelines and metric dumps alongside their normal output.
@@ -345,6 +349,106 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Simulator-wide verification (see :mod:`repro.verify`)."""
+    apps = (
+        tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        if args.apps else None
+    )
+    policies = tuple(args.policy) if args.policy else None
+    jobs = args.jobs or 1
+    failed = False
+
+    if args.update_golden:
+        from repro.verify import golden
+
+        summary = golden.update_golden(
+            apps=apps, policies=policies, seed=args.seed, jobs=jobs,
+        )
+        print(f"golden: pinned {summary['pinned']} entries "
+              f"({len(summary['added'])} added, "
+              f"{len(summary['changed'])} changed)")
+        for key in summary["changed"]:
+            print(f"  repinned {key}")
+        print(f"  written to {golden.GOLDEN_PATH}")
+        return 0
+
+    run_all = not (
+        args.invariants or args.differential or args.golden or args.fuzz
+    )
+
+    if args.invariants or run_all:
+        from repro.verify import run_invariant_suite
+
+        kwargs = {}
+        if apps is not None:
+            kwargs["apps"] = apps
+        if policies is not None:
+            kwargs["policies"] = policies
+        report = run_invariant_suite(**kwargs)
+        print(f"invariants: {report['checks']} runs, "
+              f"{report['phases']} phase boundaries checked")
+        for violation in report["violations"]:
+            print(f"  VIOLATION {violation}")
+        failed |= bool(report["violations"])
+
+    if args.differential or run_all:
+        from repro.verify import differential
+
+        report = differential.run_differential(
+            apps=apps if apps is not None else differential.DEFAULT_APPS,
+            policies=policies,
+            seed=args.seed,
+            jobs=max(2, jobs),
+        )
+        print(f"differential: {report['comparisons']} comparisons over "
+              f"{report['pairs']} pairs ({', '.join(report['lanes'])})")
+        for mismatch in report["mismatches"]:
+            print(f"  MISMATCH {mismatch}")
+        failed |= bool(report["mismatches"])
+
+    if args.golden or run_all:
+        from repro.verify import golden
+
+        try:
+            report = golden.check_golden(
+                apps=apps, policies=policies, seed=args.seed, jobs=jobs,
+            )
+        except FileNotFoundError:
+            print(f"golden: {golden.GOLDEN_PATH} missing — "
+                  "run `make golden-update` once to pin baselines")
+            failed = True
+        else:
+            print(f"golden: {report['checked']} entries checked")
+            for key in report["missing"]:
+                print(f"  MISSING {key} (pin with `make golden-update`)")
+            for mismatch in report["mismatches"]:
+                print(f"  DRIFT {mismatch}")
+            failed |= bool(report["missing"] or report["mismatches"])
+
+    if args.fuzz or run_all:
+        from repro.verify import fuzz
+
+        report = fuzz.run_fuzz(
+            seed=args.seed, cases=args.cases, budget_s=args.budget,
+        )
+        print(f"fuzz: {report['cases']} cases in "
+              f"{report['elapsed_s']:.1f}s")
+        for finding in report["failures"]:
+            print(f"  FAILURE (seed {finding.seed}, shrunk to "
+                  f"{finding.n_records} record(s)): {finding.failure}")
+            print(f"  repro: {finding.command}")
+            print("  minimal TraceBuilder program:")
+            for line in finding.program.rstrip().splitlines():
+                print(f"    {line}")
+        failed |= bool(report["failures"])
+
+    if failed:
+        return 1
+    print("verify: all checks passed")
+    return 0
+
+
 def cmd_characterize(args) -> int:
     config = baseline_config()
     trace = get_workload(args.app, config)
@@ -481,6 +585,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject faults: preset name, inline JSON, or "
                           "@file.json")
     trc.set_defaults(func=cmd_trace)
+
+    ver = sub.add_parser(
+        "verify",
+        help="simulator-wide verification: invariants, differential "
+             "oracles, golden digests, fuzzing",
+    )
+    ver.add_argument("--invariants", action="store_true",
+                     help="phase-boundary invariant suite only")
+    ver.add_argument("--differential", action="store_true",
+                     help="differential oracle lanes only")
+    ver.add_argument("--golden", action="store_true",
+                     help="golden-digest regression check only")
+    ver.add_argument("--fuzz", action="store_true",
+                     help="seeded random trace/config fuzzing (failures "
+                          "are shrunk to a minimal TraceBuilder program)")
+    ver.add_argument("--update-golden", action="store_true",
+                     dest="update_golden",
+                     help="recompute and re-pin the golden digests "
+                          "instead of checking them")
+    ver.add_argument("--seed", type=int, default=0,
+                     help="base seed for fuzzing/differential runs; "
+                          "fuzz case i uses seed+i")
+    ver.add_argument("--cases", type=int, default=None,
+                     help="number of fuzz cases (default 50 unless "
+                          "--budget is given)")
+    ver.add_argument("--budget", type=float, default=None,
+                     help="fuzz wall-clock budget in seconds")
+    ver.add_argument("--apps", default=None,
+                     help="comma-separated app subset (default: lanes' "
+                          "own defaults; golden uses the full registry)")
+    ver.add_argument("--policy", action="append",
+                     choices=sorted(POLICY_FACTORIES),
+                     help="repeatable policy subset (default: all)")
+    ver.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for golden/differential runs")
+    ver.set_defaults(func=cmd_verify)
 
     cha = sub.add_parser("characterize", help="Section IV object analysis")
     cha.add_argument("app", choices=sorted(APPLICATIONS))

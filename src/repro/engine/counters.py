@@ -60,9 +60,30 @@ class StatCounters:
             if k.startswith(prefix)
         }
 
-    def merge(self, other: "StatCounters") -> "StatCounters":
-        """Add another counter set into this one; returns self."""
+    def merge(self, other: "StatCounters",
+              allow_disjoint: bool = False) -> "StatCounters":
+        """Add another counter set into this one; returns self.
+
+        Two populated counter sets that share *no* top-level namespace
+        (the segment before the first ``.``) are almost certainly from
+        unrelated components — real run counters always overlap on the
+        core families (``fault.``, ``access.``, ...).  Silently summing
+        such sets is how a wrong aggregate survives unnoticed, and it is
+        exactly the hazard the differential counter digests key on, so
+        the mismatch raises unless ``allow_disjoint=True`` says the
+        caller really is composing unrelated namespaces.
+        """
         counts = self._counts
+        if counts and other._counts and not allow_disjoint:
+            mine = {key.split(".", 1)[0] for key in counts}
+            theirs = {key.split(".", 1)[0] for key in other._counts}
+            if mine.isdisjoint(theirs):
+                raise ValueError(
+                    "refusing to merge counter sets with disjoint "
+                    f"namespaces ({sorted(mine)[:4]} vs "
+                    f"{sorted(theirs)[:4]}); pass allow_disjoint=True "
+                    "to combine unrelated counters deliberately"
+                )
         for key, value in other._counts.items():
             counts[key] = counts.get(key, 0.0) + value
         return self

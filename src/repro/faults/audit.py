@@ -1,16 +1,18 @@
 """Property-style invariant audit for the simulated machine.
 
-The simulator's correctness rests on a handful of cross-component
-invariants — every PTE points at a live copy, copy-holder sets agree
-with page locations, capacity accounting matches the page tables, TLBs
-never cache translations for unmapped pages, retired frames stay empty.
-This module checks them:
+The structural checker itself now lives in
+:mod:`repro.verify.invariants` (:func:`check_machine_invariants` is
+re-exported here for compatibility); this module keeps the fault-centric
+*drivers* around it:
 
-* after every step of randomized driver-primitive sequences
+* randomized driver-primitive sequences audited after every step
   (:func:`random_primitive_audit`), the page-management equivalent of a
   property-based state-machine test;
-* after full trace replays under every policy
-  (:func:`replay_audit`), with and without injected faults.
+* full trace replays under every policy (:func:`replay_audit`), with
+  and without injected faults — now via the phase-boundary
+  :class:`~repro.verify.invariants.InvariantVerifier` hook, so the
+  machine is also checked at every intermediate phase, not just at the
+  end.
 
 Run everything with :func:`run_audit` (also wired to the CLI as
 ``repro-oasis faults --audit`` and to ``make verify-faults``).
@@ -25,6 +27,16 @@ from __future__ import annotations
 
 import random
 
+from repro.verify.invariants import check_machine_invariants
+
+__all__ = [
+    "AUDIT_POLICIES",
+    "check_machine_invariants",
+    "random_primitive_audit",
+    "replay_audit",
+    "run_audit",
+]
+
 #: Policies exercised by the audit.  ``ideal`` is excluded by design:
 #: its incoherent page tables intentionally violate the single-writer
 #: and owner-in-copy-set invariants.
@@ -35,92 +47,6 @@ AUDIT_POLICIES = (
     "grit",
     "oasis",
 )
-
-
-def check_machine_invariants(machine) -> list[str]:
-    """Every invariant violation currently present in ``machine``.
-
-    Returns an empty list on a consistent machine.  Meant to be called
-    at quiescent points (between driver primitives, at phase boundaries,
-    after a run) — mid-primitive the tables are legitimately in flux.
-    """
-    from repro.config import HOST
-
-    violations: list[str] = []
-    pt = machine.page_tables
-    trace = machine.trace
-    n_gpus = machine.config.n_gpus
-
-    try:
-        pt.check_invariants()
-    except AssertionError as exc:
-        violations.append(f"page-table structure: {exc}")
-
-    injector = machine.injector
-    retired = (
-        {(g, p) for (g, p) in injector._retired} if injector is not None else set()
-    )
-
-    pages = range(trace.first_page, trace.first_page + trace.n_pages)
-    for page in pages:
-        owner = pt.location(page)
-        holders = pt.copy_holders(page)
-        if owner != HOST and owner not in holders:
-            violations.append(
-                f"page {page}: owner GPU {owner} not in copy set {holders}"
-            )
-        for gpu in range(n_gpus):
-            mapped = pt.is_mapped(gpu, page)
-            has_copy = pt.has_copy(gpu, page)
-            if mapped and not has_copy:
-                # Remote mapping: the data it points at must be live
-                # (host memory always is; a GPU owner must hold a copy).
-                if owner != HOST and owner not in holders:
-                    violations.append(
-                        f"page {page}: GPU {gpu} remote-maps a dead copy"
-                    )
-            if has_copy and (gpu, page) in retired:
-                violations.append(
-                    f"page {page}: copy on GPU {gpu}'s retired frame"
-                )
-
-    # Capacity accounting mirrors the copy sets.  (Only exact under host
-    # initial placement: distributed placement seeds copies the capacity
-    # manager learns about lazily.)
-    if machine.config.initial_placement == "host":
-        for gpu in range(n_gpus):
-            resident = machine.capacity.resident_pages(gpu)
-            holding = {
-                page for page in pages if pt.has_copy(gpu, page)
-            }
-            if resident != holding:
-                extra = sorted(resident - holding)[:5]
-                missing = sorted(holding - resident)[:5]
-                violations.append(
-                    f"GPU {gpu}: capacity residency != copy set "
-                    f"(extra={extra}, missing={missing})"
-                )
-
-    if machine.capacity.enabled:
-        cap = machine.capacity.capacity_pages
-        for gpu in range(n_gpus):
-            count = machine.capacity.resident_count(gpu)
-            if count > cap:
-                violations.append(
-                    f"GPU {gpu}: {count} resident pages over capacity {cap}"
-                )
-
-    # A cached translation must correspond to a live mapping: shootdowns
-    # on unmap are what keep TLBs coherent.
-    first, last = trace.first_page, trace.first_page + trace.n_pages
-    for gpu in range(n_gpus):
-        for page in machine.tlbs[gpu].cached_pages():
-            if first <= page < last and not pt.is_mapped(gpu, page):
-                violations.append(
-                    f"GPU {gpu}: TLB caches unmapped page {page}"
-                )
-
-    return violations
 
 
 # -- randomized primitive sequences ----------------------------------------
@@ -239,18 +165,25 @@ def replay_audit(
     fault_plan=None,
     oversubscription: float | None = None,
 ) -> list[str]:
-    """Replay a synthetic trace under ``policy`` and audit the machine."""
+    """Replay a synthetic trace under ``policy`` and audit the machine.
+
+    Runs with the phase-boundary
+    :class:`~repro.verify.invariants.InvariantVerifier` attached, so
+    both structural invariants *and* counter laws are checked at every
+    phase boundary, not just once after the run.
+    """
     from repro import make_policy
     from repro.config import baseline_config
     from repro.sim.machine import Machine
+    from repro.verify.invariants import InvariantVerifier
 
     config = baseline_config(
         fault_plan=fault_plan, oversubscription=oversubscription
     )
     trace = _two_phase_trace(config, seed=seed)
-    machine = Machine(config, trace, make_policy(policy))
-    machine.run()
-    return check_machine_invariants(machine)
+    verifier = InvariantVerifier(strict=False)
+    Machine(config, trace, make_policy(policy), verifier=verifier).run()
+    return list(verifier.violations)
 
 
 def default_fault_plans() -> list:

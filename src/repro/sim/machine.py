@@ -33,6 +33,7 @@ from repro.policies.base import PolicyEngine
 from repro.sim.fastpath import FastReplay
 from repro.sim.results import PhaseResult, SimulationResult
 from repro.tlb import TLBHierarchy
+from repro.verify.invariants import NULL_VERIFIER, Verifier
 from repro.uvm import UVMDriver
 from repro.workloads.base import Trace
 
@@ -50,6 +51,7 @@ class Machine:
         policy: PolicyEngine,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        verifier: Verifier | None = None,
     ) -> None:
         if trace.n_gpus != config.n_gpus:
             raise ValueError(
@@ -69,6 +71,11 @@ class Machine:
         # attribute test, so an unobserved run is bit-identical (and
         # fast-path eligible) exactly as before this subsystem existed.
         self.tracer = NULL_TRACER if tracer is None else tracer
+        # Verification: the null verifier keeps the phase-boundary hook a
+        # single attribute test.  Checks only run at quiescent points, so
+        # (unlike observation) a real verifier does NOT disable the
+        # vectorized fast path — verified runs stay bit-identical.
+        self.verifier = NULL_VERIFIER if verifier is None else verifier
         self.metrics = metrics
         if metrics is not None:
             metrics.bind_stats(self.stats)
@@ -314,6 +321,8 @@ class Machine:
         now = 0.0
         tracer = self.tracer
         tracing = tracer.enabled
+        verifier = self.verifier
+        replayed = 0
         span_tracks: list[str] = []
         if tracing:
             span_tracks = [
@@ -346,11 +355,14 @@ class Machine:
                     tracer.end_span(track, now)
             self._sync_clocks(now)
             self._do_frees(index, now)
+            if verifier.enabled:
+                replayed += phase.total_accesses
+                verifier.after_phase(self, index, replayed)
         if tracing:
             tracer.finish(now)
         if self._obs_on:
             self._flush_observations()
-        return SimulationResult(
+        result = SimulationResult(
             workload=self.trace.name,
             policy=self.policy.name,
             n_gpus=self.config.n_gpus,
@@ -363,6 +375,9 @@ class Machine:
             l2_miss_policy_counts=dict(self.l2_miss_policy_counts),
             metrics=self._metrics_extra(),
         )
+        if verifier.enabled:
+            verifier.after_run(self, result)
+        return result
 
     def _flush_observations(self) -> None:
         """Fold deferred per-event observations into the histograms.
@@ -509,12 +524,19 @@ def simulate(
     policy: PolicyEngine,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    verifier: Verifier | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a machine, run it, return the result.
 
     Pass a :class:`~repro.obs.RecordingTracer` and/or a
     :class:`~repro.obs.MetricsRegistry` to observe the run; both default
     to off, which keeps the vectorized fast path engaged and the result
-    bit-identical to an unobserved run.
+    bit-identical to an unobserved run.  Pass a
+    :class:`~repro.verify.invariants.InvariantVerifier` to check
+    machine-wide invariants at every phase boundary (quiescent-point
+    checks: the fast path stays engaged and the result is unchanged).
     """
-    return Machine(config, trace, policy, tracer=tracer, metrics=metrics).run()
+    return Machine(
+        config, trace, policy, tracer=tracer, metrics=metrics,
+        verifier=verifier,
+    ).run()

@@ -1,0 +1,207 @@
+"""Golden-digest regression: pin every (workload, policy) result.
+
+``tests/golden/golden.json`` holds one entry per (app, policy) pair of
+the full registry matrix.  Each entry is content-addressed: the core
+sha256 of the whole result (see
+:func:`repro.verify.differential.core_digest`), a digest per phase, and
+the full canonical counter map.  The counter map is stored verbatim —
+not just hashed — so that when a digest moves the diff report can name
+*exactly* which counter changed and by how much, instead of "something
+differs".
+
+Workflow:
+
+* ``make verify`` (→ :func:`check_golden`) recomputes the matrix and
+  compares against the pinned file; any drift fails with a named diff.
+* ``make golden-update`` (→ :func:`update_golden`) re-pins after an
+  *intentional* model change; the file is committed, so the review diff
+  shows every counter the change moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.verify.differential import (
+    canonical_json,
+    core_digest,
+    diff_payloads,
+    result_payload,
+)
+
+#: Pinned digests live in the test tree so CI always has them.
+GOLDEN_PATH = Path(__file__).resolve().parents[3] / "tests" / "golden" / "golden.json"
+
+#: Golden file schema version (bump when the entry layout changes).
+SCHEMA = 1
+
+
+def golden_key(app: str, policy: str, seed: int = 0) -> str:
+    key = f"{app}/{policy}"
+    if seed:
+        key += f"#{seed}"
+    return key
+
+
+def entry_for(result) -> dict:
+    """The pinned view of one result."""
+    import hashlib
+
+    payload = result_payload(result)
+    phases = [
+        {
+            "name": phase["name"],
+            "digest": hashlib.sha256(
+                canonical_json(phase).encode()
+            ).hexdigest(),
+        }
+        for phase in payload["phases"]
+    ]
+    return {
+        "core": core_digest(result),
+        "total_time_ns": payload["total_time_ns"],
+        "phases": phases,
+        "counters": result.metrics_snapshot().counters,
+    }
+
+
+def entry_diff(pinned: dict, fresh: dict) -> list[str]:
+    """Name exactly what moved between a pinned entry and a fresh one."""
+    diffs: list[str] = []
+    for line in diff_payloads(pinned["counters"], fresh["counters"]):
+        diffs.append(f"counter {line}")
+    if pinned["total_time_ns"] != fresh["total_time_ns"]:
+        diffs.append(
+            f"total_time_ns: {pinned['total_time_ns']!r} != "
+            f"{fresh['total_time_ns']!r}"
+        )
+    old_phases = {p["name"]: p["digest"] for p in pinned["phases"]}
+    new_phases = {p["name"]: p["digest"] for p in fresh["phases"]}
+    for name in sorted(set(old_phases) | set(new_phases)):
+        old_digest = old_phases.get(name)
+        new_digest = new_phases.get(name)
+        if old_digest != new_digest:
+            diffs.append(
+                f"phase {name!r}: "
+                + (
+                    "added" if old_digest is None
+                    else "removed" if new_digest is None
+                    else "digest moved"
+                )
+            )
+    if not diffs:
+        # Core digests can differ through fields no sub-view covers
+        # (stats breakdowns are in counters, but e.g. policy_histogram
+        # is not) — fall back to "core moved" rather than silence.
+        diffs.append("core digest moved (non-counter field)")
+    return diffs
+
+
+# -- matrix ----------------------------------------------------------------
+
+
+def golden_matrix(apps=None, policies=None) -> list[tuple[str, str]]:
+    """The (app, policy) pairs the golden file pins (full registry)."""
+    from repro import POLICY_FACTORIES
+    from repro.workloads.registry import APPLICATION_ORDER
+
+    if apps is None:
+        apps = APPLICATION_ORDER
+    if policies is None:
+        policies = sorted(POLICY_FACTORIES)
+    return [(app, policy) for app in apps for policy in policies]
+
+
+def _compute(pairs, seed: int, jobs: int) -> dict[str, dict]:
+    from repro import baseline_config
+    from repro.harness import runner
+    from repro.sim import SimulationResult
+
+    config = baseline_config()
+    requests = [
+        (config, app, policy, {"seed": seed}) for app, policy in pairs
+    ]
+    results = runner.run_sims_parallel(requests, jobs=jobs)
+    fresh: dict[str, dict] = {}
+    for (app, policy), result in zip(pairs, results):
+        key = golden_key(app, policy, seed)
+        if not isinstance(result, SimulationResult):
+            raise RuntimeError(f"golden run {key} failed: {result}")
+        fresh[key] = entry_for(result)
+    return fresh
+
+
+def load_golden(path=None) -> dict:
+    path = Path(path) if path is not None else GOLDEN_PATH
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def update_golden(path=None, apps=None, policies=None, *, seed: int = 0,
+                  jobs: int = 1) -> dict:
+    """(Re)compute the matrix and pin it; returns a change summary.
+
+    Pairs outside the requested scope keep their existing entries, so a
+    partial update (one app, say) never drops the rest of the matrix.
+    """
+    path = Path(path) if path is not None else GOLDEN_PATH
+    pairs = golden_matrix(apps, policies)
+    fresh = _compute(pairs, seed, jobs)
+    entries: dict[str, dict] = {}
+    changed: list[str] = []
+    added: list[str] = []
+    if path.exists():
+        entries = load_golden(path).get("entries", {})
+    for key, entry in fresh.items():
+        if key not in entries:
+            added.append(key)
+        elif entries[key]["core"] != entry["core"]:
+            changed.append(key)
+        entries[key] = entry
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return {"pinned": len(entries), "added": added, "changed": changed}
+
+
+def check_golden(path=None, apps=None, policies=None, *, seed: int = 0,
+                 jobs: int = 1) -> dict:
+    """Recompute the matrix and compare against the pinned file.
+
+    Returns ``{"checked": int, "missing": [...], "mismatches": [...]}``;
+    each mismatch line names the pair and the exact counters/phases that
+    moved.  Raises ``FileNotFoundError`` when the golden file is absent
+    (run ``make golden-update`` once to create it).
+    """
+    path = Path(path) if path is not None else GOLDEN_PATH
+    pinned = load_golden(path)
+    if pinned.get("schema") != SCHEMA:
+        raise ValueError(
+            f"golden file {path} has schema {pinned.get('schema')!r}, "
+            f"expected {SCHEMA} — regenerate with `make golden-update`"
+        )
+    entries = pinned.get("entries", {})
+    pairs = golden_matrix(apps, policies)
+    fresh = _compute(pairs, seed, jobs)
+    missing: list[str] = []
+    mismatches: list[str] = []
+    for key, entry in fresh.items():
+        pin = entries.get(key)
+        if pin is None:
+            missing.append(key)
+            continue
+        if pin["core"] != entry["core"]:
+            mismatches.extend(
+                f"{key}: {line}" for line in entry_diff(pin, entry)
+            )
+    return {
+        "checked": len(fresh),
+        "missing": missing,
+        "mismatches": mismatches,
+    }

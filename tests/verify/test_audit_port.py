@@ -1,0 +1,40 @@
+"""The fault audit now rides on the verify.invariants primitives."""
+
+from __future__ import annotations
+
+import repro.verify.invariants as invariants
+from repro.faults import FaultPlan, LinkFault, MigrationFlake, audit
+
+
+def test_audit_reexports_the_shared_checker():
+    # One checker, not two: the audit's structural check IS the verify
+    # package's implementation, so the two can never silently disagree.
+    assert audit.check_machine_invariants is invariants.check_machine_invariants
+
+
+def test_replay_audit_checks_phase_boundaries():
+    # The ported replay_audit attaches an InvariantVerifier, so counter
+    # laws are evaluated too — not only end-of-run structural state.
+    assert audit.replay_audit("oasis") == []
+
+
+def test_replay_audit_and_verified_simulate_agree():
+    plan = FaultPlan(
+        link_faults=(LinkFault(a=0, b=1, phase=1, bandwidth_factor=0.25),),
+        migration_flakes=(MigrationFlake(rate=0.2, phase=1),),
+    )
+    for policy in ("on_touch", "oasis"):
+        assert audit.replay_audit(policy, fault_plan=plan) == []
+
+
+def test_random_primitive_audit_still_green():
+    assert audit.random_primitive_audit(seed=0, steps=100) == []
+
+
+def test_run_audit_small_matrix_green():
+    report = audit.run_audit(
+        policies=("on_touch", "oasis"), seeds=(0,), steps=60
+    )
+    assert report["violations"] == []
+    # 1 primitive + 2 replay checks per plan (4 plans), + 2 oversub.
+    assert report["checks"] == 4 * 3 + 2

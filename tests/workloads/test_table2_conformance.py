@@ -1,0 +1,80 @@
+"""Every registry workload conforms to its Table II row, seeds 0-4.
+
+Three properties per (application, seed):
+
+* the built trace has exactly the object count Table II documents;
+* its allocated footprint matches the Table II/III figure for 4 GPUs
+  (within a small rounding tolerance — builders size objects in whole
+  pages);
+* every access in every phase lands inside a declared object's
+  allocation — no builder ever touches stray pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import baseline_config
+from repro.workloads.registry import APPLICATION_ORDER, APPLICATIONS, get_workload
+
+MB = 1024 * 1024
+SEEDS = range(5)
+
+#: Builders size objects in whole pages and split footprints across
+#: odd object counts, so allow a small relative slack around Table II.
+FOOTPRINT_TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config()
+
+
+@pytest.mark.parametrize("app", APPLICATION_ORDER)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_object_count_matches_table2(config, app, seed):
+    trace = get_workload(app, config, seed=seed)
+    assert trace.n_objects == APPLICATIONS[app].n_objects
+
+
+@pytest.mark.parametrize("app", APPLICATION_ORDER)
+def test_footprint_matches_table2(config, app):
+    trace = get_workload(app, config)
+    documented = APPLICATIONS[app].footprint_for(config.n_gpus) * MB
+    ratio = trace.footprint_bytes / documented
+    assert abs(ratio - 1.0) <= FOOTPRINT_TOLERANCE, (
+        f"{app}: {trace.footprint_bytes} bytes vs Table II "
+        f"{documented} (ratio {ratio:.4f})"
+    )
+
+
+@pytest.mark.parametrize("app", APPLICATION_ORDER)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_phases_only_touch_declared_objects(config, app, seed):
+    trace = get_workload(app, config, seed=seed)
+    # Union of declared allocations, as an array of valid page numbers.
+    valid = np.concatenate(
+        [np.arange(o.first_page, o.last_page + 1) for o in trace.objects]
+    )
+    for phase in trace.phases:
+        if not len(phase):
+            continue
+        touched = np.unique(phase.page)
+        stray = touched[~np.isin(touched, valid)]
+        assert stray.size == 0, (
+            f"{app} seed={seed} phase {phase.name!r} touches pages "
+            f"outside every object: {stray[:5].tolist()}"
+        )
+        assert np.all(
+            (phase.gpu >= 0) & (phase.gpu < trace.n_gpus)
+        ), f"{app} phase {phase.name!r} has out-of-range GPU ids"
+
+
+@pytest.mark.parametrize("app", APPLICATION_ORDER)
+def test_object_of_page_agrees_with_allocations(config, app):
+    trace = get_workload(app, config)
+    for obj in trace.objects:
+        assert trace.object_of_page(obj.first_page) is obj
+        assert trace.object_of_page(obj.last_page) is obj
+    assert trace.object_of_page(trace.first_page - 1) is None
