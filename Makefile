@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
-	verify-sim golden-update
+	verify-serve verify-sim golden-update
 
 test:
 	$(PYTHON) -m pytest -q
@@ -25,7 +25,15 @@ verify-sim:
 	$(PYTHON) -m pytest tests/verify tests/workloads/test_table2_conformance.py -q
 	$(PYTHON) -m repro.cli verify --jobs 4
 
-verify: verify-faults verify-obs verify-sim
+# Simulation-service verification: the serve suite (single-flight,
+# admission control, lanes/deadlines, HTTP + client) plus the ~30s
+# load-generator smoke, which asserts one simulation per identical
+# burst and bit-identical served results under the invariant verifier.
+verify-serve:
+	$(PYTHON) -m pytest tests/serve -q
+	$(PYTHON) benchmarks/bench_serve.py --smoke --verify
+
+verify: verify-faults verify-obs verify-serve verify-sim
 
 # Re-pin tests/golden/golden.json after an intentional model change;
 # commit the file so the review diff names every counter that moved.

@@ -1,0 +1,276 @@
+"""Seeded load generator for the single-flight simulation service.
+
+Drives a real :class:`~repro.serve.http.ServeHttpServer` (in-process,
+ephemeral port) through the synchronous client over actual TCP, in
+three phases:
+
+1. **Single-flight proof** — a concurrent burst of ``--burst`` (default
+   64) *identical* requests.  The service must perform exactly **one**
+   simulation: every other request either attaches to the in-flight job
+   (dedup) or lands on the warm cache.  The run fails loudly otherwise.
+2. **Mixed sweep traffic** — ``--requests`` submissions drawn by a
+   seeded RNG from a small (app × policy × footprint × seed) pool with
+   Zipf-flavored repetition (the MGSim/MGMark sweep shape: popular
+   cells recur), spread over the priority lanes, issued from
+   ``--clients`` concurrent threads.  Reports p50/p99 end-to-end
+   latency, throughput, dedup hit rate and the number of distinct
+   simulations actually computed.
+3. **Verification** (``--verify``) — for a sample of specs, the served
+   result must be bit-identical to a direct
+   :func:`repro.harness.run_sim` call *and* to a run executed under the
+   strict phase-boundary invariant verifier.
+
+Results land in ``results/BENCH_serve.json``.  ``--smoke`` shrinks the
+mix for the ~30 s CI job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --verify
+
+The module is import-safe for pytest collection of the benchmarks tree;
+the generator only runs under ``__main__``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import baseline_config, get_workload  # noqa: E402
+from repro.harness import cache_stats, clear_cache, configure, run_sim  # noqa: E402
+from repro.serve import SimulationService  # noqa: E402
+from repro.serve.client import ServeClient, ServerBusy  # noqa: E402
+from repro.serve.http import ServeHttpServer  # noqa: E402
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
+)
+
+#: The sweep pool the seeded traffic is drawn from.
+APPS = ("mm", "st", "i2c")
+POLICIES = ("on_touch", "oasis", "access_counter")
+FOOTPRINTS = (4.0, 8.0)
+SEEDS = (0, 1)
+LANES = ("interactive", "batch", "batch", "bulk")  # batch-heavy mix
+
+
+class ServiceUnderTest:
+    """An in-process service + HTTP server on a background event loop."""
+
+    def __init__(self, jobs: int, batch_max: int = 16) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="bench-serve-loop", daemon=True
+        )
+        self.thread.start()
+        self.service = SimulationService(jobs=jobs, batch_max=batch_max)
+        self.server = ServeHttpServer(self.service, port=0)
+        self._run(self.server.start())
+
+    def _run(self, coro, timeout: float = 120.0):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def client(self, timeout_s: float = 300.0) -> ServeClient:
+        return ServeClient(port=self.server.port, timeout_s=timeout_s)
+
+    def close(self) -> None:
+        self._run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def phase_single_flight(sut: ServiceUnderTest, burst: int) -> dict:
+    """Burst of identical requests -> exactly one simulation."""
+    clear_cache()
+    before = cache_stats()["misses"]
+    client = sut.client()
+
+    def one(_i: int) -> float:
+        start = time.monotonic()
+        client.submit("mm", "on_touch", footprint_mb=4.0, lane="interactive")
+        return time.monotonic() - start
+
+    with ThreadPoolExecutor(max_workers=burst) as pool:
+        latencies = list(pool.map(one, range(burst)))
+    misses = cache_stats()["misses"] - before
+    stats = client.health()
+    report = {
+        "burst": burst,
+        "simulations": misses,
+        "deduped": stats["deduped"],
+        "p50_ms": percentile(latencies, 50) * 1e3,
+        "p99_ms": percentile(latencies, 99) * 1e3,
+    }
+    if misses != 1:
+        raise SystemExit(
+            f"single-flight FAILED: {burst} identical requests performed "
+            f"{misses} simulations (expected exactly 1)"
+        )
+    return report
+
+
+def phase_mixed_traffic(sut: ServiceUnderTest, n_requests: int,
+                        n_clients: int, seed: int) -> dict:
+    """Seeded sweep mix; reports latency percentiles and dedup rate."""
+    rng = random.Random(seed)
+    # Zipf-flavored popularity: cell i drawn with weight 1/(i+1).
+    pool = [
+        (app, policy, mb, s)
+        for app in APPS for policy in POLICIES
+        for mb in FOOTPRINTS for s in SEEDS
+    ]
+    rng.shuffle(pool)
+    weights = [1.0 / (i + 1) for i in range(len(pool))]
+    requests = [
+        (*rng.choices(pool, weights=weights)[0], rng.choice(LANES))
+        for _ in range(n_requests)
+    ]
+    client = sut.client()
+    before = cache_stats()["misses"]
+    stats_before = client.health()
+    latencies: list[float] = []
+    lock = threading.Lock()
+    started = time.monotonic()
+
+    def one(req) -> None:
+        app, policy, mb, s, lane = req
+        t0 = time.monotonic()
+        while True:
+            try:
+                client.submit(app, policy, footprint_mb=mb, seed=s, lane=lane)
+                break
+            except ServerBusy as busy:
+                time.sleep(busy.retry_after_s)
+        with lock:
+            latencies.append(time.monotonic() - t0)
+
+    with ThreadPoolExecutor(max_workers=n_clients) as executor:
+        list(executor.map(one, requests))
+    wall = time.monotonic() - started
+    stats = client.health()
+    submitted = stats["submitted"] - stats_before["submitted"]
+    deduped = stats["deduped"] - stats_before["deduped"]
+    return {
+        "requests": n_requests,
+        "clients": n_clients,
+        "distinct_cells": len(pool),
+        "simulations": cache_stats()["misses"] - before,
+        "dedup_hits": deduped,
+        "dedup_hit_rate": deduped / submitted if submitted else 0.0,
+        "p50_ms": percentile(latencies, 50) * 1e3,
+        "p99_ms": percentile(latencies, 99) * 1e3,
+        "wall_s": wall,
+        "requests_per_s": n_requests / wall if wall else float("inf"),
+    }
+
+
+def phase_verify(sut: ServiceUnderTest, n_samples: int, seed: int) -> dict:
+    """Served results == direct run_sim == invariant-verified run."""
+    from repro.verify import verified_simulate
+
+    rng = random.Random(seed)
+    samples = [
+        (rng.choice(APPS), rng.choice(POLICIES), rng.choice(FOOTPRINTS))
+        for _ in range(n_samples)
+    ]
+    client = sut.client()
+    config = baseline_config()
+    checked = 0
+    for app, policy, mb in samples:
+        served = client.submit(app, policy, footprint_mb=mb)
+        direct = run_sim(config, app, policy, footprint_mb=mb)
+        if served.to_dict() != direct.to_dict():
+            raise SystemExit(
+                f"verify FAILED: served {app}/{policy}@{mb}MB differs "
+                "from direct run_sim"
+            )
+        trace = get_workload(app, config, footprint_mb=mb)
+        verified, _verifier = verified_simulate(config, trace, policy)
+        if served.to_dict() != verified.to_dict():
+            raise SystemExit(
+                f"verify FAILED: served {app}/{policy}@{mb}MB differs "
+                "from the invariant-verified run"
+            )
+        checked += 1
+    return {"samples": checked, "bit_identical": True, "invariants": "strict"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--burst", type=int, default=64,
+                        help="identical requests in the single-flight phase")
+    parser.add_argument("--requests", type=int, default=150,
+                        help="mixed-traffic submissions")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent client threads")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="service worker processes per batch")
+    parser.add_argument("--verify", action="store_true",
+                        help="check bit-identical + invariant-verified "
+                             "results on a spec sample")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink the mix for the ~30s CI smoke")
+    parser.add_argument("--out", default=str(RESULTS_PATH))
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 60)
+        args.clients = min(args.clients, 8)
+        args.jobs = min(args.jobs, 2)
+
+    configure(jobs=args.jobs, disk_cache=False)
+    clear_cache()
+    sut = ServiceUnderTest(jobs=args.jobs)
+    report = {"seed": args.seed, "jobs": args.jobs}
+    try:
+        report["single_flight"] = phase_single_flight(sut, args.burst)
+        sf = report["single_flight"]
+        print(f"single-flight: {sf['burst']} identical requests -> "
+              f"{sf['simulations']} simulation ({sf['deduped']:g} deduped), "
+              f"p99 {sf['p99_ms']:.1f} ms")
+        report["mixed"] = phase_mixed_traffic(
+            sut, args.requests, args.clients, args.seed
+        )
+        mixed = report["mixed"]
+        print(f"mixed traffic: {mixed['requests']} requests over "
+              f"{mixed['distinct_cells']} cells from {mixed['clients']} "
+              f"clients in {mixed['wall_s']:.1f}s "
+              f"({mixed['requests_per_s']:.1f} req/s)")
+        print(f"  p50 {mixed['p50_ms']:.1f} ms  p99 {mixed['p99_ms']:.1f} ms  "
+              f"dedup hit rate {100 * mixed['dedup_hit_rate']:.1f}%  "
+              f"simulations {mixed['simulations']}")
+        if args.verify:
+            report["verify"] = phase_verify(sut, 3 if args.smoke else 6,
+                                            args.seed)
+            print(f"verify: {report['verify']['samples']} sampled specs "
+                  "bit-identical to direct run_sim and to the "
+                  "invariant-verified run")
+    finally:
+        sut.close()
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

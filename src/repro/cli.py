@@ -17,6 +17,11 @@ Subcommands:
   differential oracles across every execution mode, golden-digest
   regression (``--update-golden`` re-pins), and a seeded trace fuzzer
   with delta-debugging shrinking (``--fuzz``).
+* ``serve`` — run the single-flight simulation service (asyncio job
+  queue with admission control, priority lanes and deduplication) with
+  ``/healthz`` + ``/metrics`` HTTP endpoints.
+* ``submit APP`` — submit one run to a running ``serve`` instance and
+  print the result.
 
 ``simulate`` and ``sweep`` also accept ``--trace`` / ``--metrics-out``
 to export timelines and metric dumps alongside their normal output.
@@ -449,6 +454,66 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the single-flight simulation service until interrupted."""
+    import asyncio
+
+    from repro.harness import configure
+    from repro.serve import SimulationService
+    from repro.serve.http import run_server
+
+    configure(
+        jobs=args.jobs or 1,
+        disk_cache=not args.no_cache,
+    )
+    service = SimulationService(
+        jobs=args.jobs or 1,
+        max_pending=args.max_pending,
+        batch_max=args.batch_max,
+        run_timeout_s=args.run_timeout_s,
+    )
+    try:
+        asyncio.run(run_server(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nrepro-oasis serve: shut down")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one run to a running service and print the result."""
+    from repro.serve.client import ClientError, ServeClient, ServerBusy
+
+    client = ServeClient(args.host, args.port, timeout_s=args.timeout_s)
+    try:
+        if args.no_wait:
+            job = client.submit_nowait(
+                args.app, args.policy,
+                footprint_mb=args.footprint_mb, seed=args.seed,
+                lane=args.lane, deadline_s=args.deadline_s,
+            )
+            print(f"accepted {job['id']} (lane {job['lane']}, "
+                  f"status {job['status']}); poll with "
+                  f"GET /jobs/{job['id']}")
+            return 0
+        result = client.submit(
+            args.app, args.policy,
+            footprint_mb=args.footprint_mb, seed=args.seed,
+            lane=args.lane, deadline_s=args.deadline_s,
+        )
+    except ServerBusy as busy:
+        print(f"server busy: {busy}; retry after {busy.retry_after_s:g}s")
+        return 2
+    except (ClientError, ConnectionError, OSError) as err:
+        print(f"submit failed: {err}")
+        return 1
+    print(f"{args.app}/{args.policy}: "
+          f"time={result.total_time_ns / 1e6:.2f} ms  "
+          f"faults={int(result.total_faults)}  "
+          f"migrations={int(result.migrations)}  "
+          f"duplications={int(result.duplications)}")
+    return 0
+
+
 def cmd_characterize(args) -> int:
     config = baseline_config()
     trace = get_workload(args.app, config)
@@ -621,6 +686,52 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--jobs", type=int, default=None,
                      help="worker processes for golden/differential runs")
     ver.set_defaults(func=cmd_verify)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the single-flight simulation service (HTTP front end)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8343,
+                     help="TCP port (0 = ephemeral; default 8343)")
+    srv.add_argument("--jobs", type=int, default=None,
+                     help="worker processes per dispatched batch")
+    srv.add_argument("--max-pending", type=int, default=256,
+                     dest="max_pending",
+                     help="admission-control bound on queued jobs")
+    srv.add_argument("--batch-max", type=int, default=16, dest="batch_max",
+                     help="max jobs handed to the pool per dispatch round")
+    srv.add_argument("--run-timeout-s", type=float, default=None,
+                     dest="run_timeout_s",
+                     help="per-run wall-clock cap (needs --jobs >= 2)")
+    srv.add_argument("--no-cache", action="store_true", dest="no_cache",
+                     help="skip the persistent result cache")
+    srv.set_defaults(func=cmd_serve)
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit one run to a running serve instance",
+    )
+    sbm.add_argument("app", choices=sorted(APPLICATIONS))
+    sbm.add_argument("--policy", default="oasis",
+                     choices=sorted(POLICY_FACTORIES))
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=8343)
+    sbm.add_argument("--footprint-mb", type=float, default=None,
+                     dest="footprint_mb")
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--lane", default="batch",
+                     choices=["interactive", "batch", "bulk"])
+    sbm.add_argument("--deadline-s", type=float, default=None,
+                     dest="deadline_s",
+                     help="per-job deadline; expired jobs fail instead "
+                          "of running")
+    sbm.add_argument("--timeout-s", type=float, default=300.0,
+                     dest="timeout_s", help="client HTTP timeout")
+    sbm.add_argument("--no-wait", action="store_true", dest="no_wait",
+                     help="return the job id immediately instead of "
+                          "waiting for the result")
+    sbm.set_defaults(func=cmd_submit)
 
     cha = sub.add_parser("characterize", help="Section IV object analysis")
     cha.add_argument("app", choices=sorted(APPLICATIONS))

@@ -66,7 +66,26 @@ class SerialServer:
         scalar loop; this installs the resulting server state.  The caller
         must have started its recurrence from the current ``free_at`` and
         ``busy_time`` so the hand-back is exact.
+
+        A hand-back that moves the server backwards — ``free_at`` before
+        the current value, a shrinking ``busy_total``, or a negative
+        request count — can only come from a recurrence that did not start
+        from this server's state, so it is rejected rather than silently
+        installed as corrupted timing.
         """
+        if free_at < self._free_at:
+            raise ValueError(
+                f"advance_to moves free_at backwards "
+                f"({free_at} < {self._free_at}); the fast-path recurrence "
+                "must start from the current server state"
+            )
+        if busy_total < self._busy_total:
+            raise ValueError(
+                f"advance_to shrinks busy_total "
+                f"({busy_total} < {self._busy_total})"
+            )
+        if n_requests < 0:
+            raise ValueError(f"advance_to got negative n_requests ({n_requests})")
         self._free_at = free_at
         self._busy_total = busy_total
         self._requests += n_requests

@@ -44,6 +44,44 @@ SIMULATOR_VERSION = 1
 DEFAULT_CACHE_DIR = "results/cache"
 
 
+def _canonical(value):
+    """Insertion-order-independent, JSON-serializable form of a value.
+
+    ``json.dumps(..., sort_keys=True)`` only canonicalizes dicts with
+    uniformly sortable keys; anything that falls through to
+    ``default=repr`` (sets, non-string-keyed mappings, arbitrary
+    objects) keeps its insertion/iteration order in the blob, so two
+    semantically equal ``policy_kwargs`` could hash to different cache
+    keys.  Canonicalize recursively instead: mappings become pair lists
+    sorted by their canonical-key JSON, sets become sorted element
+    lists, dataclasses flatten through ``asdict``, and only opaque
+    leaves fall back to ``repr``.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        items = [
+            (json.dumps(_canonical(k), sort_keys=True), _canonical(v))
+            for k, v in value.items()
+        ]
+        items.sort(key=lambda kv: kv[0])
+        return {"__map__": items}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                json.dumps(_canonical(v), sort_keys=True) for v in value
+            )
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": _canonical(dataclasses.asdict(value)),
+        }
+    return {"__repr__": repr(value)}
+
+
 def cache_key(
     config: SystemConfig,
     app: str,
@@ -52,7 +90,13 @@ def cache_key(
     seed: int,
     policy_kwargs: dict,
 ) -> str:
-    """Content hash identifying one simulation run."""
+    """Content hash identifying one simulation run.
+
+    ``policy_kwargs`` is canonicalized recursively (see
+    :func:`_canonical`), so equal-but-reordered kwargs — including
+    nested dict values and non-string keys — always hash to the same
+    entry.
+    """
     payload = {
         "simulator_version": SIMULATOR_VERSION,
         "slow_path": force_slow_path(),
@@ -61,7 +105,7 @@ def cache_key(
         "policy": policy,
         "footprint_mb": footprint_mb,
         "seed": seed,
-        "policy_kwargs": sorted(policy_kwargs.items()),
+        "policy_kwargs": _canonical(policy_kwargs),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -90,15 +134,17 @@ class DiskCache:
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside so it is inspectable but inert."""
-        self.quarantined += 1
         target = self.root / "quarantine" / path.name
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
         except OSError:
             # Can't move it (e.g. racing worker already did, or read-only
-            # store): the load already counted the miss; nothing to do.
-            pass
+            # store): the load already counted the miss, and nothing was
+            # quarantined — leave the counter alone so stats() stays
+            # truthful.
+            return
+        self.quarantined += 1
 
     def load(self, key: str) -> SimulationResult | None:
         """The stored result for ``key``, or None on miss/corruption.

@@ -318,11 +318,14 @@ def _maybe_fault_hook(spec: dict) -> None:
     file makes the crash one-shot so the retry can succeed.  Omitting
     ``@sentinel`` crashes every attempt (a deterministically poisoned
     run).  ``REPRO_HARNESS_HANG`` sleeps instead, exercising the per-run
-    timeout path.
+    timeout path, and ``REPRO_HARNESS_RAISE`` raises a retryable
+    ``OSError`` in-process, exercising the retry/backoff path without
+    killing the worker.
     """
     for env, action in (
         ("REPRO_HARNESS_CRASH", "crash"),
         ("REPRO_HARNESS_HANG", "hang"),
+        ("REPRO_HARNESS_RAISE", "raise"),
     ):
         raw = os.environ.get(env, "").strip()
         if not raw:
@@ -337,6 +340,8 @@ def _maybe_fault_hook(spec: dict) -> None:
                 pass
         if action == "crash":
             os._exit(13)
+        if action == "raise":
+            raise OSError(f"injected transient failure for {target}")
         time.sleep(3600.0)
 
 
@@ -374,17 +379,34 @@ def _failure_from(spec: dict, attempts: int, exc: BaseException | None,
 #: Exception classes worth retrying: environmental, not deterministic.
 _RETRYABLE = (OSError, EOFError, MemoryError)
 
+#: Ceiling on one retry-backoff sleep (override with
+#: ``REPRO_RETRY_BACKOFF_MAX_S``).  Without it the exponential grows
+#: unboundedly — at the default 50 ms base, attempt 12 would already
+#: sleep 102 s, stalling a sweep for minutes on a flaky run.
+DEFAULT_RETRY_BACKOFF_MAX_S = 5.0
 
-def _retry_backoff(attempt: int) -> None:
-    base = 0.05
-    raw = os.environ.get("REPRO_RETRY_BACKOFF_S", "").strip()
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
     if raw:
         try:
-            base = max(0.0, float(raw))
+            return max(0.0, float(raw))
         except ValueError:
             pass
-    if base:
-        time.sleep(base * (2.0 ** max(0, attempt - 1)))
+    return default
+
+
+def _backoff_delay(attempt: int) -> float:
+    """Exponential backoff for retry ``attempt``, capped at a max delay."""
+    base = _env_float("REPRO_RETRY_BACKOFF_S", 0.05)
+    cap = _env_float("REPRO_RETRY_BACKOFF_MAX_S", DEFAULT_RETRY_BACKOFF_MAX_S)
+    return min(base * (2.0 ** max(0, attempt - 1)), cap)
+
+
+def _retry_backoff(attempt: int) -> None:
+    delay = _backoff_delay(attempt)
+    if delay:
+        time.sleep(delay)
 
 
 def _teardown_pool(pool: ProcessPoolExecutor) -> None:

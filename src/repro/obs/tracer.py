@@ -68,6 +68,15 @@ EVENT_KINDS = frozenset(
         "reroute",  # transfer rerouted around a severed link
         "alloc",  # object allocated (driver track)
         "free",  # object freed (driver track)
+        # Simulation-service job lifecycle (serve track; wall-clock ns
+        # relative to service start, not simulated time — see
+        # :mod:`repro.serve`).
+        "serve_submit",  # job admitted into a priority lane
+        "serve_dedup",  # identical request attached to an in-flight job
+        "serve_reject",  # admission control turned a request away
+        "serve_dispatch",  # batch handed to the simulation pool
+        "serve_done",  # job completed with a result
+        "serve_fail",  # job failed (RunFailure, expired deadline, ...)
     }
 )
 

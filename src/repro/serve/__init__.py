@@ -1,0 +1,60 @@
+"""repro.serve — a single-flight simulation service.
+
+The front door the ROADMAP's traffic story needs: instead of every
+consumer driving :func:`repro.harness.run_sims_parallel` in-process, a
+long-running :class:`SimulationService` accepts simulation requests,
+applies admission control with bounded backpressure, collapses
+concurrent identical requests into one computation (*single-flight*,
+keyed on :func:`repro.harness.diskcache.cache_key`), schedules work
+through priority lanes with per-job deadlines onto the crash-tolerant
+parallel pool, and streams job lifecycle events sourced from the
+:mod:`repro.obs` tracer.
+
+Layers:
+
+* :mod:`repro.serve.service` — the asyncio core (queue, lanes,
+  single-flight, dispatcher, metrics).
+* :mod:`repro.serve.http` — a dependency-free HTTP front end
+  (``/healthz``, ``/metrics``, ``/submit``, ``/jobs/<id>``,
+  ``/events``, ``/stats``).
+* :mod:`repro.serve.client` — a thin synchronous client library used by
+  ``repro-oasis submit`` and the load generator.
+
+Quickstart (see also ``repro-oasis serve --help``)::
+
+    import asyncio
+    from repro.serve import SimulationService
+
+    async def main():
+        service = SimulationService(jobs=4)
+        await service.start()
+        job = await service.submit({"app": "st", "policy": "oasis"},
+                                   lane="interactive")
+        result = await job.wait()
+        print(result.total_time_ns)
+        await service.stop()
+
+    asyncio.run(main())
+"""
+
+from repro.serve.service import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_MAX_PENDING,
+    LANES,
+    SERVE_LATENCY_BUCKETS_MS,
+    AdmissionError,
+    Job,
+    JobFailed,
+    SimulationService,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_BATCH_MAX",
+    "DEFAULT_MAX_PENDING",
+    "Job",
+    "JobFailed",
+    "LANES",
+    "SERVE_LATENCY_BUCKETS_MS",
+    "SimulationService",
+]

@@ -1,0 +1,601 @@
+"""Asyncio core of the simulation service.
+
+One :class:`SimulationService` owns four cooperating pieces:
+
+* an **admission-controlled priority queue** — jobs land in a named lane
+  (``interactive`` before ``batch`` before ``bulk``) and the queue
+  refuses new work past ``max_pending`` (:class:`AdmissionError`
+  carries a retry hint, the HTTP layer maps it to ``429``), so a
+  traffic burst backs up at the front door instead of growing an
+  unbounded heap;
+* a **single-flight table** — every request hashes to its
+  :func:`repro.harness.diskcache.cache_key`; while a key is queued or
+  running, identical submissions attach to the in-flight job's future
+  instead of enqueueing again, so a thundering herd of equal requests
+  performs exactly one simulation;
+* a **dispatcher** — one background task pops up to ``batch_max`` jobs
+  in lane order, drops jobs whose deadline already passed, and hands
+  the batch to :func:`repro.harness.run_sims_parallel` in a worker
+  thread, mapping the tightest remaining per-job deadline onto the
+  pool's per-run wall-clock timeout.  The pool keeps its PR-2 crash
+  tolerance: a poisoned run comes back as a structured
+  :class:`~repro.harness.RunFailure`, which fails only its own job;
+* an **observability surface** — job lifecycle events are recorded as
+  typed ``serve_*`` instants on a :class:`~repro.obs.RecordingTracer`
+  (track ``"serve"``, wall-clock nanoseconds since service start) and
+  fanned out to any number of streaming subscribers; counters, queue
+  gauges and a latency histogram live in a
+  :class:`~repro.obs.MetricsRegistry` and export through the same
+  Prometheus path every other subsystem uses.
+
+The dispatcher runs one batch at a time because the parallel runner's
+caches and sweep summary are module-global; concurrency comes from the
+worker processes inside the pool, not from overlapping sweeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro import POLICY_FACTORIES, baseline_config
+from repro.config import SystemConfig
+from repro.harness.diskcache import cache_key
+from repro.harness.runner import RunFailure, last_sweep_summary, run_sims_parallel
+from repro.obs import MetricsRegistry, MetricsSnapshot, RecordingTracer
+from repro.obs.export import prometheus_multi
+from repro.sim import SimulationResult
+from repro.workloads import APPLICATIONS
+
+#: Priority lanes, lowest number dispatched first.
+LANES = {"interactive": 0, "batch": 1, "bulk": 2}
+
+DEFAULT_LANE = "batch"
+
+#: Default admission-control bound on queued (not yet dispatched) jobs.
+DEFAULT_MAX_PENDING = 256
+
+#: Default max jobs handed to the pool per dispatch round.
+DEFAULT_BATCH_MAX = 16
+
+#: Completed jobs kept for ``/jobs/<id>`` lookups.
+DEFAULT_HISTORY_LIMIT = 1024
+
+#: End-to-end job latency buckets (milliseconds): cache hits land in the
+#: low buckets, cold multi-second simulations in the tail.
+SERVE_LATENCY_BUCKETS_MS = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0,
+)
+
+#: Per-subscriber event-queue bound; a slow consumer drops events rather
+#: than growing the service's memory.
+EVENT_QUEUE_LIMIT = 1024
+
+_MS_PER_NS = 1e-6
+
+
+class AdmissionError(RuntimeError):
+    """The queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobFailed(RuntimeError):
+    """Awaiting a job whose run failed raises this.
+
+    ``failure`` is a plain dict (the structured
+    :class:`~repro.harness.RunFailure` fields, or the service's own
+    diagnosis for expired deadlines / shutdown).
+    """
+
+    def __init__(self, failure: dict) -> None:
+        super().__init__(
+            f"{failure.get('error_type', 'Error')}: "
+            f"{failure.get('message', '')}"
+        )
+        self.failure = dict(failure)
+
+
+@dataclass
+class JobSpec:
+    """One requested simulation, before key resolution."""
+
+    app: str
+    policy: str
+    footprint_mb: float | None = None
+    seed: int = 0
+    policy_kwargs: dict = field(default_factory=dict)
+    #: Optional :func:`repro.baseline_config` overrides (``n_gpus``,
+    #: ``page_size``, ...); empty means the service's base config.
+    config_kwargs: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        known = {
+            "app", "policy", "footprint_mb", "seed",
+            "policy_kwargs", "config_kwargs",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
+        try:
+            spec = cls(app=payload["app"], policy=payload["policy"])
+        except KeyError as missing:
+            raise ValueError(f"spec is missing {missing.args[0]!r}") from None
+        if payload.get("footprint_mb") is not None:
+            spec.footprint_mb = float(payload["footprint_mb"])
+        spec.seed = int(payload.get("seed", 0))
+        spec.policy_kwargs = dict(payload.get("policy_kwargs") or {})
+        spec.config_kwargs = dict(payload.get("config_kwargs") or {})
+        return spec
+
+    def resolve_config(self, base: SystemConfig) -> SystemConfig:
+        if not self.config_kwargs:
+            return base
+        return baseline_config(**self.config_kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "policy": self.policy,
+            "footprint_mb": self.footprint_mb,
+            "seed": self.seed,
+            "policy_kwargs": dict(self.policy_kwargs),
+            "config_kwargs": dict(self.config_kwargs),
+        }
+
+
+class Job:
+    """One admitted request (and everyone deduplicated onto it)."""
+
+    def __init__(self, job_id: str, spec: JobSpec, config: SystemConfig,
+                 key: str, lane: str, deadline_s: float | None,
+                 future: asyncio.Future) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.config = config
+        self.key = key
+        self.lane = lane
+        self.deadline_s = deadline_s
+        self.future = future
+        self.status = "queued"
+        self.waiters = 1
+        self.submitted_mono = time.monotonic()
+        self.finished_mono: float | None = None
+        self.failure: dict | None = None
+
+    def remaining_s(self, now: float) -> float | None:
+        """Seconds left on the deadline (None = no deadline)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (now - self.submitted_mono)
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.finished_mono is None:
+            return None
+        return self.finished_mono - self.submitted_mono
+
+    async def wait(self) -> SimulationResult:
+        """Block until the job resolves; raises :class:`JobFailed`.
+
+        The future is shared by every deduplicated waiter, so it is
+        shielded — cancelling one waiter never cancels the computation.
+        """
+        return await asyncio.shield(self.future)
+
+    def describe(self) -> dict:
+        """JSON-serializable status view (the ``/jobs/<id>`` payload)."""
+        info = {
+            "id": self.id,
+            "key": self.key,
+            "lane": self.lane,
+            "status": self.status,
+            "waiters": self.waiters,
+            "deadline_s": self.deadline_s,
+            "latency_s": self.latency_s,
+            "spec": self.spec.to_dict(),
+        }
+        if self.failure is not None:
+            info["failure"] = dict(self.failure)
+        return info
+
+
+class SimulationService:
+    """Admission-controlled, single-flight front end over the harness.
+
+    Args:
+        config: base :class:`SystemConfig` for specs without
+            ``config_kwargs`` (default: the Table I baseline).
+        jobs: worker processes per dispatched batch (1 = in-process
+            serial; per-run timeouts need ``jobs >= 2`` for process
+            isolation).
+        max_pending: admission bound on queued jobs.
+        batch_max: max jobs per dispatch round.
+        run_timeout_s: per-run wall-clock cap applied to every batch in
+            addition to job deadlines.
+        history_limit: completed jobs retained for status lookups.
+
+    Construct and drive it inside one event loop; all queue state is
+    loop-confined (no locks), only the simulation batch leaves the loop
+    via ``asyncio.to_thread``.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        jobs: int = 1,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        run_timeout_s: float | None = None,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.config = config if config is not None else baseline_config()
+        self.jobs = jobs
+        self.max_pending = max_pending
+        self.batch_max = batch_max
+        self.run_timeout_s = run_timeout_s
+        self.history_limit = history_limit
+
+        self.metrics = MetricsRegistry()
+        self.tracer = RecordingTracer()
+        self._latency = self.metrics.histogram(
+            "serve.latency_ms", SERVE_LATENCY_BUCKETS_MS
+        )
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._inflight: dict[str, Job] = {}
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._subscribers: set[asyncio.Queue] = set()
+        self._wakeup: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._running = False
+        self._started_mono: float | None = None
+        #: Simulation counters accumulated across every dispatched batch
+        #: (merged from the runner's sweep summaries).
+        self._sim_counters: dict[str, float] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, dispatch: bool = True) -> None:
+        """Begin accepting jobs; with ``dispatch=False`` the queue fills
+        but nothing runs until :meth:`resume` (warm-up / deterministic
+        ordering tests)."""
+        if self._running:
+            return
+        self._running = True
+        self._started_mono = time.monotonic()
+        self._wakeup = asyncio.Event()
+        if dispatch:
+            self.resume()
+
+    def resume(self) -> None:
+        """Start the dispatcher after a paused :meth:`start`."""
+        if not self._running:
+            raise RuntimeError("service is not running (call start())")
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(
+                self._dispatch_loop(), name="repro-serve-dispatcher"
+            )
+
+    async def stop(self) -> None:
+        """Drain nothing: finish the in-flight batch, fail queued jobs."""
+        if not self._running:
+            return
+        self._running = False
+        assert self._wakeup is not None
+        self._wakeup.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        while self._heap:
+            _, _, job = heappop(self._heap)
+            self._finish_failure(job, {
+                "error_type": "ServiceStopped",
+                "message": "service shut down before the job ran",
+            })
+        self._publish_gauges()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _now_ns(self) -> float:
+        base = self._started_mono if self._started_mono is not None else 0.0
+        return (time.monotonic() - base) * 1e9
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(
+        self,
+        spec: JobSpec | dict,
+        *,
+        lane: str = DEFAULT_LANE,
+        deadline_s: float | None = None,
+    ) -> Job:
+        """Admit one request; returns its (possibly shared) :class:`Job`.
+
+        Identical in-flight requests — same cache key — coalesce onto
+        the existing job regardless of lane.  A full queue raises
+        :class:`AdmissionError` (backpressure), and malformed specs
+        raise :class:`ValueError` before touching the queue.
+        """
+        if not self._running:
+            raise RuntimeError("service is not running (call start())")
+        if lane not in LANES:
+            raise ValueError(f"unknown lane {lane!r}; known: {sorted(LANES)}")
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        if spec.app not in APPLICATIONS:
+            raise ValueError(f"unknown app {spec.app!r}")
+        if spec.policy not in POLICY_FACTORIES:
+            raise ValueError(f"unknown policy {spec.policy!r}")
+        config = spec.resolve_config(self.config)
+        key = cache_key(
+            config, spec.app, spec.policy,
+            spec.footprint_mb, spec.seed, spec.policy_kwargs,
+        )
+        self.metrics.inc("serve.submitted")
+
+        shared = self._inflight.get(key)
+        if shared is not None:
+            shared.waiters += 1
+            self.metrics.inc("serve.deduped")
+            self._emit("serve_dedup", job=shared.id, key=key,
+                       waiters=shared.waiters)
+            return shared
+
+        queued = len(self._heap)
+        if queued >= self.max_pending:
+            self.metrics.inc("serve.rejected")
+            self._emit("serve_reject", key=key, queued=queued)
+            raise AdmissionError(
+                f"queue full ({queued}/{self.max_pending} pending)",
+                retry_after_s=1.0,
+            )
+
+        job = Job(
+            job_id=f"job-{next(self._ids)}",
+            spec=spec,
+            config=config,
+            key=key,
+            lane=lane,
+            deadline_s=deadline_s,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._inflight[key] = job
+        self._remember_job(job)
+        heappush(self._heap, (LANES[lane], next(self._seq), job))
+        self._emit("serve_submit", job=job.id, key=key, lane=lane)
+        self._publish_gauges()
+        assert self._wakeup is not None
+        self._wakeup.set()
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def _remember_job(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.history_limit:
+            oldest_id, oldest = next(iter(self._jobs.items()))
+            if oldest.status in ("queued", "running"):
+                break  # never forget live jobs, whatever the limit
+            del self._jobs[oldest_id]
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None
+        while self._running:
+            if not self._heap:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            batch: list[Job] = []
+            now = time.monotonic()
+            while self._heap and len(batch) < self.batch_max:
+                _, _, job = heappop(self._heap)
+                remaining = job.remaining_s(now)
+                if remaining is not None and remaining <= 0:
+                    self.metrics.inc("serve.expired")
+                    self._finish_failure(job, {
+                        "error_type": "DeadlineExceeded",
+                        "message": (
+                            f"deadline of {job.deadline_s}s passed while "
+                            "queued"
+                        ),
+                    })
+                    continue
+                batch.append(job)
+            if not batch:
+                self._publish_gauges()
+                continue
+
+            timeouts = [self.run_timeout_s] + [
+                job.remaining_s(now) for job in batch
+            ]
+            effective = [t for t in timeouts if t is not None]
+            batch_timeout = min(effective) if effective else None
+            requests = [
+                (job.config, job.spec.app, job.spec.policy, {
+                    "footprint_mb": job.spec.footprint_mb,
+                    "seed": job.spec.seed,
+                    "policy_kwargs": dict(job.spec.policy_kwargs),
+                })
+                for job in batch
+            ]
+            for job in batch:
+                job.status = "running"
+                self.metrics.inc("serve.dispatched")
+                self._emit("serve_dispatch", job=job.id, key=job.key,
+                           lane=job.lane)
+            self.metrics.inc("serve.batches")
+            self._publish_gauges()
+
+            try:
+                results, summary = await asyncio.to_thread(
+                    self._run_batch, requests, batch_timeout
+                )
+            except BaseException as exc:  # defensive: the pool never raises
+                for job in batch:
+                    self._finish_failure(job, {
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                    })
+                self._publish_gauges()
+                continue
+
+            if summary:
+                for name, value in summary.get("counters", {}).items():
+                    self._sim_counters[name] = (
+                        self._sim_counters.get(name, 0.0) + value
+                    )
+            for job, result in zip(batch, results):
+                if isinstance(result, SimulationResult):
+                    self._finish_ok(job, result)
+                elif isinstance(result, RunFailure):
+                    self._finish_failure(job, {
+                        "error_type": result.error_type,
+                        "message": result.message,
+                        "attempts": result.attempts,
+                    })
+                else:  # pragma: no cover - the runner returns only those
+                    self._finish_failure(job, {
+                        "error_type": "InternalError",
+                        "message": f"unexpected result {type(result).__name__}",
+                    })
+            self._publish_gauges()
+
+    def _run_batch(self, requests: list, timeout_s: float | None):
+        """Worker-thread body: one crash-tolerant sweep + its summary."""
+        results = run_sims_parallel(
+            requests, jobs=self.jobs, timeout_s=timeout_s
+        )
+        return results, last_sweep_summary()
+
+    # -- completion --------------------------------------------------------
+
+    def _finish_ok(self, job: Job, result: SimulationResult) -> None:
+        job.status = "done"
+        job.finished_mono = time.monotonic()
+        self._inflight.pop(job.key, None)
+        self.metrics.inc("serve.completed")
+        latency_ms = (job.latency_s or 0.0) * 1e3
+        self._latency.observe(latency_ms)
+        if not job.future.done():
+            job.future.set_result(result)
+        self._emit("serve_done", job=job.id, key=job.key,
+                   latency_ms=round(latency_ms, 3), waiters=job.waiters)
+
+    def _finish_failure(self, job: Job, failure: dict) -> None:
+        job.status = "failed"
+        job.finished_mono = time.monotonic()
+        job.failure = dict(failure)
+        self._inflight.pop(job.key, None)
+        self.metrics.inc("serve.failed")
+        if not job.future.done():
+            job.future.set_exception(JobFailed(failure))
+            # A fire-and-forget submission may never await this future;
+            # retrieve the exception once so GC never logs it as lost.
+            job.future.exception()
+        self._emit("serve_fail", job=job.id, key=job.key,
+                   error_type=failure.get("error_type", "Error"))
+
+    # -- events ------------------------------------------------------------
+
+    def subscribe(self) -> asyncio.Queue:
+        """Register a streaming consumer; pair with :meth:`unsubscribe`."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=EVENT_QUEUE_LIMIT)
+        self._subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        self._subscribers.discard(queue)
+
+    def _emit(self, kind: str, **args) -> None:
+        """Record one lifecycle event and fan it out to subscribers.
+
+        The tracer is the source of truth: the event lands as a typed
+        ``serve_*`` instant on the ``"serve"`` track (exportable as a
+        Chrome trace like any simulated run), and the streamed payload
+        is built from the same record.
+        """
+        ts_ns = self._now_ns()
+        self.tracer.instant("serve", kind, ts_ns, args)
+        event = {"kind": kind, "ts_ns": ts_ns, **args}
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                self.metrics.inc("serve.events_dropped")
+
+    # -- introspection -----------------------------------------------------
+
+    def _publish_gauges(self) -> None:
+        self.metrics.set_gauge("serve.queue_depth", float(len(self._heap)))
+        self.metrics.set_gauge(
+            "serve.inflight", float(len(self._inflight))
+        )
+        self.metrics.set_gauge(
+            "serve.subscribers", float(len(self._subscribers))
+        )
+
+    def stats(self) -> dict:
+        """The ``/healthz`` payload: liveness plus headline counters."""
+        uptime = (
+            time.monotonic() - self._started_mono
+            if self._started_mono is not None else 0.0
+        )
+        counters = self.metrics.stats.as_dict()
+        return {
+            "status": "ok" if self._running else "stopped",
+            "uptime_s": round(uptime, 3),
+            "queue_depth": len(self._heap),
+            "inflight": len(self._inflight),
+            "max_pending": self.max_pending,
+            "jobs": self.jobs,
+            "batch_max": self.batch_max,
+            "submitted": counters.get("serve.submitted", 0.0),
+            "deduped": counters.get("serve.deduped", 0.0),
+            "completed": counters.get("serve.completed", 0.0),
+            "failed": counters.get("serve.failed", 0.0),
+            "rejected": counters.get("serve.rejected", 0.0),
+        }
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Service-side metrics (counters, gauges, latency histogram)."""
+        self._publish_gauges()
+        return self.metrics.snapshot()
+
+    def sim_snapshot(self) -> MetricsSnapshot:
+        """Simulation counters accumulated over every dispatched batch."""
+        return MetricsSnapshot.from_counters(self._sim_counters)
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` payload: service + simulation metrics.
+
+        Service metrics render as ``repro_serve_*`` (the counters are
+        already namespaced ``serve.*``, so the bare ``repro`` prefix
+        composes without stuttering) and the accumulated simulation
+        counters as ``repro_sim_*``.
+        """
+        return prometheus_multi({
+            "repro": self.snapshot(),
+            "repro_sim": self.sim_snapshot(),
+        })

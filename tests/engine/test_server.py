@@ -56,6 +56,40 @@ class TestSerialServer:
         assert s.busy_time == 0.0
         assert s.request_count == 0
 
+    def test_advance_to_installs_forward_state(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        s.advance_to(25.0, 18.0, 4)
+        assert s.free_at == 25.0
+        assert s.busy_time == 18.0
+        assert s.request_count == 5
+        # Equal-value hand-back (an empty fast-path batch) is legal.
+        s.advance_to(25.0, 18.0, 0)
+        assert s.request_count == 5
+
+    def test_advance_to_rejects_free_at_regression(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        with pytest.raises(ValueError, match="free_at backwards"):
+            s.advance_to(5.0, 12.0, 1)
+        # Rejected hand-backs must not corrupt state.
+        assert s.free_at == 10.0
+        assert s.busy_time == 10.0
+        assert s.request_count == 1
+
+    def test_advance_to_rejects_shrinking_busy_total(self):
+        s = SerialServer()
+        s.submit(0.0, 10.0)
+        with pytest.raises(ValueError, match="shrinks busy_total"):
+            s.advance_to(20.0, 5.0, 1)
+        assert s.busy_time == 10.0
+
+    def test_advance_to_rejects_negative_request_count(self):
+        s = SerialServer()
+        with pytest.raises(ValueError, match="negative n_requests"):
+            s.advance_to(1.0, 1.0, -1)
+        assert s.request_count == 0
+
     @given(
         st.lists(
             st.tuples(

@@ -99,6 +99,28 @@ class TestDiskCache:
         assert loaded is not None
         assert loaded.to_dict() == result.to_dict()
 
+    def test_failed_quarantine_is_not_counted(self, config, tmp_path,
+                                              monkeypatch):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        path = cache.store(key, result)
+        path.write_text("{not json")
+
+        def refuse(src, dst):
+            raise OSError("read-only store")
+
+        with monkeypatch.context() as m:
+            m.setattr("repro.harness.diskcache.os.replace", refuse)
+            assert cache.load(key) is None  # still a clean miss
+            assert cache.stats()["disk_quarantined"] == 0
+            assert path.exists()  # nothing actually moved aside
+        # Once the store is writable again the quarantine goes through
+        # and is counted exactly once.
+        assert cache.load(key) is None
+        assert cache.stats()["disk_quarantined"] == 1
+        assert not path.exists()
+
     def test_key_depends_on_parameters(self, config):
         base = cache_key(config, "mm", "on_touch", 4.0, 0, {})
         assert cache_key(config, "st", "on_touch", 4.0, 0, {}) != base
@@ -125,6 +147,46 @@ class TestDiskCache:
         assert a is not b  # rebuilt from disk, not the same object
         assert a.to_dict() == b.to_dict()
         assert cache_stats()["disk_hits"] == 1
+
+
+class TestCacheKeyCanonicalization:
+    def test_reordered_kwargs_share_a_key(self, config):
+        a = cache_key(config, "mm", "oasis", 4.0, 0, {"alpha": 1, "beta": 2})
+        b = cache_key(config, "mm", "oasis", 4.0, 0, {"beta": 2, "alpha": 1})
+        assert a == b
+
+    def test_nested_and_non_string_keys_canonicalize(self, config):
+        a = cache_key(config, "mm", "oasis", 4.0, 0,
+                      {"weights": {2: 0.5, 1: 0.25}, "tiers": [1, 2]})
+        b = cache_key(config, "mm", "oasis", 4.0, 0,
+                      {"tiers": [1, 2], "weights": {1: 0.25, 2: 0.5}})
+        assert a == b
+
+    def test_set_values_are_order_independent(self, config):
+        a = cache_key(config, "mm", "oasis", 4.0, 0,
+                      {"gpus": {"g0", "g1", "g2"}})
+        b = cache_key(config, "mm", "oasis", 4.0, 0,
+                      {"gpus": {"g2", "g0", "g1"}})
+        assert a == b
+
+    def test_different_kwargs_still_differ(self, config):
+        base = cache_key(config, "mm", "oasis", 4.0, 0, {"alpha": 1})
+        assert cache_key(config, "mm", "oasis", 4.0, 0, {"alpha": 2}) != base
+        assert cache_key(config, "mm", "oasis", 4.0, 0, {"alpha": [1]}) != base
+        assert cache_key(config, "mm", "oasis", 4.0, 0, {"beta": 1}) != base
+
+    def test_reordered_kwargs_hit_the_same_disk_entry(self, config, tmp_path):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key_a = cache_key(config, "mm", "on_touch", 4.0, 0,
+                          {"x": {"b": 2, "a": 1}, "y": 3})
+        cache.store(key_a, result)
+        key_b = cache_key(config, "mm", "on_touch", 4.0, 0,
+                          {"y": 3, "x": {"a": 1, "b": 2}})
+        loaded = cache.load(key_b)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert cache.stats()["disk_hits"] == 1
 
 
 class TestBoundedMemoryCache:

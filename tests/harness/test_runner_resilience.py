@@ -14,10 +14,13 @@ from repro.harness import (
     cache_stats,
     clear_cache,
     configure,
+    last_sweep_summary,
     run_sims_parallel,
 )
 from repro.harness.runner import (
+    DEFAULT_RETRY_BACKOFF_MAX_S,
     _apply_runner_config,
+    _backoff_delay,
     _runner_config,
     _spec_key,
 )
@@ -28,6 +31,7 @@ from repro.sim.results import SimulationResult
 def isolated_runner(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_HARNESS_CRASH", raising=False)
     monkeypatch.delenv("REPRO_HARNESS_HANG", raising=False)
+    monkeypatch.delenv("REPRO_HARNESS_RAISE", raising=False)
     monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
     clear_cache()
     configure(jobs=1, cache_dir=str(tmp_path / "cache"))
@@ -121,7 +125,115 @@ class TestHangTimeout:
         assert failure.attempts == 1
         assert not failure.ok
         assert isinstance(success, SimulationResult)
+        # Accounting reconciles: the failed slot is neither hit nor miss.
+        stats = cache_stats()
+        assert stats["hits"] + stats["misses"] == 1
+        summary = last_sweep_summary()
+        assert summary["ok"] == 1 and summary["failed"] == 1
 
+class TestTransientRaise:
+    def test_retryable_failure_then_success(self, config, tmp_path,
+                                            monkeypatch):
+        # One-shot transient OSError: the first attempt raises in the
+        # worker (retryable), the retry finds the sentinel and succeeds.
+        sentinel = tmp_path / "raised-once"
+        monkeypatch.setenv("REPRO_HARNESS_RAISE", f"mm:on_touch@{sentinel}")
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        results = run_sims_parallel(requests, jobs=2, pool_failure_limit=5)
+        assert sentinel.exists()  # the injected raise really happened
+        assert all(isinstance(r, SimulationResult) for r in results)
+        stats = cache_stats()
+        assert stats["run_retries"] >= 1
+        assert stats["pool_failures"] == 0  # worker survived the raise
+        assert stats["hits"] + stats["misses"] == len(requests)
+
+    def test_retries_exhausted_is_a_structured_failure(self, config,
+                                                       monkeypatch):
+        # No sentinel: every attempt raises, so the run burns through
+        # max_attempts and lands as a RunFailure slot.
+        monkeypatch.setenv("REPRO_HARNESS_RAISE", "mm:on_touch")
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        failure, success = run_sims_parallel(
+            requests, jobs=2, max_attempts=2, pool_failure_limit=5
+        )
+        assert isinstance(failure, RunFailure)
+        assert failure.error_type == "OSError"
+        assert "injected transient failure" in failure.message
+        assert failure.attempts == 2  # exhausted, not abandoned early
+        assert isinstance(success, SimulationResult)
+        stats = cache_stats()
+        assert stats["run_retries"] == 1  # one retry before giving up
+        assert stats["hits"] + stats["misses"] == 1  # the ok slot only
+        summary = last_sweep_summary()
+        assert summary["ok"] == 1 and summary["failed"] == 1
+
+
+class TestPoolRebuildDegradation:
+    def test_degraded_sweep_keeps_failure_slots_and_accounting(
+        self, config, monkeypatch
+    ):
+        # A poisoned run crashes its worker on every pool attempt; after
+        # pool_failure_limit rebuilds the sweep degrades to in-process
+        # serial execution (where the crash hook is inert).  A second,
+        # deterministically bad spec must still come back as its own
+        # structured failure slot, not take the sweep down.
+        monkeypatch.setenv("REPRO_HARNESS_CRASH", "mm:on_touch")
+        requests = [
+            (config, "mm", "on_touch", SMALL),
+            (config, "mm", "bogus_policy", SMALL),
+            (config, "i2c", "on_touch", SMALL),
+        ]
+        results = run_sims_parallel(requests, jobs=2, pool_failure_limit=1)
+        by_policy = {spec[2]: result
+                     for spec, result in zip(requests, results)}
+        assert isinstance(by_policy["on_touch"], SimulationResult)
+        assert isinstance(by_policy["bogus_policy"], RunFailure)
+        assert by_policy["bogus_policy"].error_type == "ValueError"
+        assert isinstance(results[2], SimulationResult)
+        stats = cache_stats()
+        assert stats["pool_failures"] >= 2  # limit + the last straw
+        # Two ok slots, one failure: hits+misses covers exactly the oks.
+        assert stats["hits"] + stats["misses"] == 2
+        summary = last_sweep_summary()
+        assert summary["runs"] == 3
+        assert summary["ok"] == 2 and summary["failed"] == 1
+
+
+class TestRetryBackoff:
+    def test_exponential_growth_capped_at_default_max(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "1.0")
+        monkeypatch.delenv("REPRO_RETRY_BACKOFF_MAX_S", raising=False)
+        assert _backoff_delay(1) == 1.0
+        assert _backoff_delay(2) == 2.0
+        assert _backoff_delay(3) == 4.0
+        assert _backoff_delay(4) == DEFAULT_RETRY_BACKOFF_MAX_S
+        assert _backoff_delay(30) == DEFAULT_RETRY_BACKOFF_MAX_S
+
+    def test_cap_is_env_overridable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "1.0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_MAX_S", "0.5")
+        assert _backoff_delay(1) == 0.5
+        assert _backoff_delay(10) == 0.5
+
+    def test_zero_base_disables_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
+        assert _backoff_delay(1) == 0.0
+        assert _backoff_delay(8) == 0.0
+
+    def test_garbage_env_falls_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "not-a-number")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_MAX_S", "")
+        assert _backoff_delay(1) == 0.05
+        assert _backoff_delay(30) == DEFAULT_RETRY_BACKOFF_MAX_S
+
+
+class TestFailureRendering:
     def test_failure_renders_diagnosably(self, config):
         failure = RunFailure(
             app="mm", policy="oasis", seed=3,

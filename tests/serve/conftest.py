@@ -1,0 +1,67 @@
+"""Fixtures for the simulation-service suite.
+
+The HTTP tests drive a real :class:`ServeHttpServer` on an ephemeral
+port, hosted by a background event-loop thread; the pure-service tests
+use :func:`asyncio.run` directly inside each test.  Every test runs
+with the disk cache off and a cold in-process cache so "number of cache
+misses" equals "number of simulations actually performed".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.harness import clear_cache, configure
+from repro.serve import SimulationService
+from repro.serve.http import ServeHttpServer
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+    yield
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+
+
+class ServerThread:
+    """A live service + HTTP server on a background event loop."""
+
+    def __init__(self, **service_kwargs) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="serve-test-loop", daemon=True
+        )
+        self.thread.start()
+        self.service = SimulationService(**service_kwargs)
+        self.server = ServeHttpServer(self.service, port=0)
+        self.run(self.server.start())
+        self.port = self.server.port
+
+    def run(self, coro, timeout: float = 120.0):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def close(self) -> None:
+        self.run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def server():
+    sut = ServerThread(jobs=1)
+    yield sut
+    sut.close()
+
+
+@pytest.fixture
+def full_server():
+    """A server whose admission control rejects everything."""
+    sut = ServerThread(jobs=1, max_pending=0)
+    yield sut
+    sut.close()

@@ -1,0 +1,109 @@
+"""ServeClient: the synchronous client against a live server."""
+
+import threading
+import time
+
+import pytest
+
+from repro import baseline_config
+from repro.harness import run_sim
+from repro.serve.client import (
+    ClientError,
+    JobFailedError,
+    ServeClient,
+    ServerBusy,
+)
+from repro.sim import SimulationResult
+
+
+def client_for(sut) -> ServeClient:
+    return ServeClient(port=sut.port, timeout_s=120.0)
+
+
+def test_submit_round_trips_a_simulation_result(server):
+    client = client_for(server)
+    served = client.submit("mm", "on_touch", footprint_mb=4.0)
+    assert isinstance(served, SimulationResult)
+    direct = run_sim(baseline_config(), "mm", "on_touch", footprint_mb=4.0)
+    assert served.to_dict() == direct.to_dict()
+
+
+def test_server_busy_carries_retry_hint(full_server):
+    client = client_for(full_server)
+    with pytest.raises(ServerBusy) as err:
+        client.submit("mm", "on_touch", footprint_mb=4.0)
+    assert err.value.status == 429
+    assert err.value.retry_after_s > 0
+
+
+def test_failed_job_raises_with_structured_failure(server):
+    client = client_for(server)
+    with pytest.raises(JobFailedError) as err:
+        client.submit("mm", "on_touch", footprint_mb=4.0,
+                      policy_kwargs={"bogus_kwarg": 1})
+    assert err.value.failure["error_type"] == "TypeError"
+
+
+def test_malformed_spec_raises_client_error(server):
+    client = client_for(server)
+    with pytest.raises(ClientError) as err:
+        client.submit("mm", "nope", footprint_mb=4.0)
+    assert err.value.status == 400
+    assert not isinstance(err.value, (ServerBusy, JobFailedError))
+
+
+def test_nowait_and_poll(server):
+    client = client_for(server)
+    job = client.submit_nowait("mm", "on_touch", footprint_mb=4.0)
+    assert job["status"] in ("queued", "running")
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        payload = client.job(job["id"])
+        if payload["job"]["status"] == "done":
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError("job never completed")
+    assert payload["result"]["total_time_ns"] > 0
+
+
+def test_health_and_metrics_text(server):
+    client = client_for(server)
+    client.submit("mm", "on_touch", footprint_mb=4.0)
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["completed"] == 1
+    text = client.metrics_text()
+    assert "repro_serve_completed_total 1" in text
+    assert 'repro_serve_latency_ms_bucket{le="+Inf"} 1' in text
+
+
+def test_event_stream_over_http(server):
+    client = client_for(server)
+    collected = []
+
+    def consume():
+        for event in client.events(limit=3):
+            collected.append(event)
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+    # Wait for the stream's subscription to land before submitting so
+    # the lifecycle events have somewhere to go.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if server.service.stats()["status"] == "ok" and (
+            server.run(_subscriber_count(server.service)) == 1
+        ):
+            break
+        time.sleep(0.02)
+    client.submit("mm", "on_touch", footprint_mb=4.0)
+    consumer.join(timeout=60)
+    assert not consumer.is_alive()
+    assert [e["kind"] for e in collected] == [
+        "serve_submit", "serve_dispatch", "serve_done"
+    ]
+
+
+async def _subscriber_count(service) -> int:
+    return len(service._subscribers)

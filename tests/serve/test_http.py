@@ -1,0 +1,123 @@
+"""ServeHttpServer: routes, status codes and payload shapes over TCP."""
+
+import json
+import time
+from http.client import HTTPConnection
+
+from repro import baseline_config
+from repro.harness import run_sim
+
+SMALL = {"app": "mm", "policy": "on_touch", "footprint_mb": 4.0}
+
+
+def raw(port, method, path, body=None):
+    conn = HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        data = None
+        headers = {}
+        if body is not None:
+            data = body if isinstance(body, bytes) else json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        out_headers = {k.lower(): v for k, v in response.getheaders()}
+    finally:
+        conn.close()
+    return response.status, out_headers, payload
+
+
+def test_healthz(server):
+    status, headers, body = raw(server.port, "GET", "/healthz")
+    assert status == 200
+    assert headers["content-type"] == "application/json"
+    assert headers["connection"] == "close"
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["queue_depth"] == 0
+
+
+def test_metrics_is_prometheus_text(server):
+    raw(server.port, "POST", "/submit", SMALL)
+    status, headers, body = raw(server.port, "GET", "/metrics")
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain")
+    text = body.decode()
+    assert "repro_serve_submitted_total 1" in text
+    assert "repro_serve_completed_total 1" in text
+    assert "repro_sim_fault_page_total" in text
+
+
+def test_submit_waits_and_returns_result(server):
+    status, _headers, body = raw(server.port, "POST", "/submit", SMALL)
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["job"]["status"] == "done"
+    direct = run_sim(baseline_config(), "mm", "on_touch", footprint_mb=4.0)
+    assert payload["result"] == direct.to_dict()
+
+
+def test_submit_nowait_then_poll(server):
+    status, _headers, body = raw(
+        server.port, "POST", "/submit", dict(SMALL, wait=False)
+    )
+    assert status == 202
+    job = json.loads(body)["job"]
+    assert job["status"] in ("queued", "running")
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        status, _headers, body = raw(server.port, "GET", f"/jobs/{job['id']}")
+        assert status == 200
+        payload = json.loads(body)
+        if payload["job"]["status"] == "done":
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError("job never completed")
+    assert "result" in payload
+    assert payload["result"]["total_time_ns"] > 0
+
+
+def test_backpressure_maps_to_429(full_server):
+    status, headers, body = raw(full_server.port, "POST", "/submit", SMALL)
+    assert status == 429
+    assert float(headers["retry-after"]) > 0
+    assert "queue full" in json.loads(body)["error"]
+
+
+def test_failed_run_maps_to_500_with_structured_failure(server):
+    spec = dict(SMALL, policy_kwargs={"bogus_kwarg": 1})
+    status, _headers, body = raw(server.port, "POST", "/submit", spec)
+    assert status == 500
+    payload = json.loads(body)
+    assert payload["failure"]["error_type"] == "TypeError"
+    assert payload["job"]["status"] == "failed"
+
+
+def test_bad_requests(server):
+    status, _h, body = raw(server.port, "POST", "/submit",
+                           {"app": "mm", "policy": "nope"})
+    assert status == 400
+    assert "unknown policy" in json.loads(body)["error"]
+
+    status, _h, _b = raw(server.port, "POST", "/submit", b"{not json")
+    assert status == 400
+
+    status, _h, _b = raw(server.port, "GET", "/jobs/job-999")
+    assert status == 404
+
+    status, _h, _b = raw(server.port, "GET", "/no/such/route")
+    assert status == 404
+
+    status, _h, _b = raw(server.port, "DELETE", "/healthz")
+    assert status == 405
+
+
+def test_stats_route_includes_metrics_snapshot(server):
+    raw(server.port, "POST", "/submit", SMALL)
+    status, _headers, body = raw(server.port, "GET", "/stats")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["service"]["completed"] == 1
+    assert payload["metrics"]["counters"]["serve.completed"] == 1
+    assert payload["sim_counters"]["fault.page"] > 0

@@ -1,0 +1,278 @@
+"""SimulationService core: single-flight, lanes, deadlines, backpressure."""
+
+import asyncio
+
+import pytest
+
+from repro import baseline_config, get_workload
+from repro.harness import cache_stats, run_sim
+from repro.obs import chrome_trace, validate_chrome_trace
+from repro.serve import AdmissionError, JobFailed, SimulationService
+from repro.sim import SimulationResult
+
+SMALL = {"app": "mm", "policy": "on_touch", "footprint_mb": 4.0}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_identical_burst_is_one_simulation(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            jobs = [await service.submit(dict(SMALL)) for _ in range(64)]
+            results = await asyncio.gather(*(job.wait() for job in jobs))
+            await service.stop()
+            return service, jobs, results
+
+        service, jobs, results = run(main())
+        assert len({job.id for job in jobs}) == 1  # all attached to one job
+        assert cache_stats()["misses"] == 1  # exactly one simulation
+        assert all(r is results[0] for r in results)  # one shared result
+        stats = service.stats()
+        assert stats["submitted"] == 64
+        assert stats["deduped"] == 63
+        assert stats["completed"] == 1
+
+    def test_distinct_specs_do_not_coalesce(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            a = await service.submit(dict(SMALL))
+            b = await service.submit(dict(SMALL, seed=1))
+            await asyncio.gather(a.wait(), b.wait())
+            await service.stop()
+            return a, b
+
+        a, b = run(main())
+        assert a.id != b.id
+        assert a.key != b.key
+        assert cache_stats()["misses"] == 2
+
+    def test_after_completion_new_submissions_hit_cache(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            first = await service.submit(dict(SMALL))
+            await first.wait()
+            second = await service.submit(dict(SMALL))
+            await second.wait()
+            await service.stop()
+            return first, second
+
+        first, second = run(main())
+        # The key left the single-flight table, so a later identical
+        # request is a new job — served from the warm cache, not re-run.
+        assert first.id != second.id
+        assert cache_stats()["misses"] == 1
+        assert cache_stats()["hits"] >= 1
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_retry_hint(self):
+        async def main():
+            service = SimulationService(jobs=1, max_pending=2)
+            await service.start(dispatch=False)
+            await service.submit(dict(SMALL))
+            await service.submit(dict(SMALL, seed=1))
+            with pytest.raises(AdmissionError) as err:
+                await service.submit(dict(SMALL, seed=2))
+            rejected = err.value
+            # Identical requests still coalesce while the queue is full.
+            attached = await service.submit(dict(SMALL))
+            await service.stop()
+            return service, rejected, attached
+
+        service, rejected, attached = run(main())
+        assert rejected.retry_after_s > 0
+        assert attached.waiters == 2
+        stats = service.stats()
+        assert stats["rejected"] == 1
+        assert stats["deduped"] == 1
+
+    def test_bad_specs_rejected_before_queueing(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            with pytest.raises(ValueError, match="unknown app"):
+                await service.submit({"app": "nope", "policy": "oasis"})
+            with pytest.raises(ValueError, match="unknown policy"):
+                await service.submit({"app": "mm", "policy": "nope"})
+            with pytest.raises(ValueError, match="unknown lane"):
+                await service.submit(dict(SMALL), lane="warp")
+            with pytest.raises(ValueError, match="unknown spec field"):
+                await service.submit(dict(SMALL, bogus=1))
+            await service.stop()
+            return service.stats()
+
+        stats = run(main())
+        assert stats["submitted"] == 0
+
+
+class TestPriorityAndDeadlines:
+    def test_lanes_dispatch_in_priority_order(self):
+        async def main():
+            service = SimulationService(jobs=1, batch_max=1)
+            await service.start(dispatch=False)
+            bulk = await service.submit(dict(SMALL, seed=3), lane="bulk")
+            batch = await service.submit(dict(SMALL, seed=2), lane="batch")
+            inter = await service.submit(
+                dict(SMALL, seed=1), lane="interactive"
+            )
+            service.resume()
+            await asyncio.gather(bulk.wait(), batch.wait(), inter.wait())
+            await service.stop()
+            order = [
+                dict(e.args)["job"]
+                for e in service.tracer.instants
+                if e.kind == "serve_dispatch"
+            ]
+            return order, inter.id, batch.id, bulk.id
+
+        order, inter_id, batch_id, bulk_id = run(main())
+        assert order == [inter_id, batch_id, bulk_id]
+
+    def test_expired_deadline_fails_instead_of_running(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start(dispatch=False)
+            job = await service.submit(dict(SMALL), deadline_s=0.01)
+            await asyncio.sleep(0.05)
+            service.resume()
+            with pytest.raises(JobFailed) as err:
+                await job.wait()
+            await service.stop()
+            return service, job, err.value
+
+        service, job, failed = run(main())
+        assert failed.failure["error_type"] == "DeadlineExceeded"
+        assert job.status == "failed"
+        assert service.stats()["failed"] == 1
+        assert cache_stats()["misses"] == 0  # never simulated
+
+    def test_stop_fails_queued_jobs(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start(dispatch=False)
+            job = await service.submit(dict(SMALL))
+            await service.stop()
+            with pytest.raises(JobFailed) as err:
+                await job.wait()
+            return err.value
+
+        failed = run(main())
+        assert failed.failure["error_type"] == "ServiceStopped"
+
+
+class TestFailurePaths:
+    def test_run_failure_maps_to_job_failure(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            job = await service.submit(
+                dict(SMALL, policy_kwargs={"bogus_kwarg": 1})
+            )
+            with pytest.raises(JobFailed) as err:
+                await job.wait()
+            ok = await service.submit(dict(SMALL))
+            result = await ok.wait()
+            await service.stop()
+            return service, job, err.value, result
+
+        service, job, failed, result = run(main())
+        assert failed.failure["error_type"] == "TypeError"
+        assert job.describe()["failure"]["error_type"] == "TypeError"
+        # The failure poisons only its own job; the service keeps serving.
+        assert isinstance(result, SimulationResult)
+        assert service.stats()["failed"] == 1
+        assert service.stats()["completed"] == 1
+
+
+class TestVerifiedAndBitIdentical:
+    def test_served_result_matches_direct_and_verified_run(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            job = await service.submit(dict(SMALL))
+            result = await job.wait()
+            await service.stop()
+            return result
+
+        served = run(main())
+        config = baseline_config()
+        direct = run_sim(config, "mm", "on_touch", footprint_mb=4.0)
+        assert served.to_dict() == direct.to_dict()
+
+        from repro.verify import verified_simulate
+
+        trace = get_workload("mm", config, footprint_mb=4.0)
+        verified, verifier = verified_simulate(config, trace, "on_touch")
+        assert not verifier.violations
+        assert served.to_dict() == verified.to_dict()
+
+
+class TestObservability:
+    def test_lifecycle_events_stream_and_trace(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            queue = service.subscribe()
+            job = await service.submit(dict(SMALL))
+            await service.submit(dict(SMALL))  # dedup event
+            await job.wait()
+            events = []
+            while not queue.empty():
+                events.append(queue.get_nowait())
+            service.unsubscribe(queue)
+            await service.stop()
+            return service, job, events
+
+        service, job, events = run(main())
+        kinds = [e["kind"] for e in events]
+        assert kinds == [
+            "serve_submit", "serve_dedup", "serve_dispatch", "serve_done"
+        ]
+        assert all(e["ts_ns"] >= 0 for e in events)
+        done = events[-1]
+        assert done["job"] == job.id
+        assert done["waiters"] == 2
+        # The tracer is the event source: the same lifecycle is on the
+        # "serve" track and exports as a valid Chrome trace.
+        assert [e.kind for e in service.tracer.instants] == kinds
+        assert validate_chrome_trace(chrome_trace(service.tracer)) == []
+
+    def test_prometheus_exposes_service_and_sim_metrics(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start()
+            job = await service.submit(dict(SMALL))
+            await job.wait()
+            await service.stop()
+            return service
+
+        service = run(main())
+        text = service.prometheus()
+        assert "repro_serve_submitted_total 1" in text
+        assert "repro_serve_completed_total 1" in text
+        assert "repro_serve_queue_depth 0" in text
+        assert 'repro_serve_latency_ms_bucket{le="+Inf"} 1' in text
+        # Simulation counters accumulated from the dispatched batch.
+        assert "repro_sim_fault_page_total" in text
+        snap = service.sim_snapshot()
+        assert snap.counter("fault.page") > 0
+
+    def test_healthz_stats_shape(self):
+        async def main():
+            service = SimulationService(jobs=2, max_pending=7)
+            await service.start()
+            stats = service.stats()
+            await service.stop()
+            return stats
+
+        stats = run(main())
+        assert stats["status"] == "ok"
+        assert stats["max_pending"] == 7
+        assert stats["jobs"] == 2
+        assert stats["uptime_s"] >= 0.0
