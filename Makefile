@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
-	verify-serve verify-sim golden-update
+	verify-serve verify-sim verify-memo golden-update
 
 test:
 	$(PYTHON) -m pytest -q
@@ -33,7 +33,16 @@ verify-serve:
 	$(PYTHON) -m pytest tests/serve -q
 	$(PYTHON) benchmarks/bench_serve.py --smoke --verify
 
-verify: verify-faults verify-obs verify-serve verify-sim
+# Sweep-fast-path verification: snapshot round-trip/corruption tests,
+# the memoized-vs-cold differential lane on multi-phase apps, and the
+# ~60s memoized-sweep smoke (speedup > 1.5x, zero golden-digest drift).
+# The memo lane also runs inside verify-sim's full differential pass.
+verify-memo:
+	$(PYTHON) -m pytest tests/sim/test_snapshot.py tests/harness/test_memo_runner.py -q
+	$(PYTHON) -m repro.cli verify --differential --lanes memo --apps c2d,st --jobs 4
+	$(PYTHON) benchmarks/bench_memo.py --smoke
+
+verify: verify-faults verify-obs verify-serve verify-sim verify-memo
 
 # Re-pin tests/golden/golden.json after an intentional model change;
 # commit the file so the review diff names every counter that moved.

@@ -9,6 +9,9 @@ Environment knobs:
 * ``REPRO_BENCH_APPS`` — comma-separated subset of applications (e.g.
   ``mm,st,bfs``) for quick smoke runs; default is all eleven.
 * ``REPRO_BENCH_NO_CACHE`` — set to disable the persistent result cache.
+* ``REPRO_BENCH_NO_MEMO`` — set to disable the sweep fast path
+  (phase-prefix snapshot memoization; on by default, see
+  :mod:`repro.sim.sweep`).
 
 Simulation results are memoized per process (see
 :mod:`repro.harness.runner`), so benchmarks that share runs — Fig. 2 is a
@@ -22,21 +25,25 @@ counts for both levels.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.harness import cache_stats, configure, run_experiment
+from repro.harness import cache_stats, configure, memo_stats, run_experiment
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Perf-trajectory artifacts (BENCH_*.json) land at the repo root.
+REPO_ROOT = RESULTS_DIR.parent
 
 
 @pytest.fixture(scope="session", autouse=True)
 def persistent_result_cache():
     """Route every benchmark's runs through the on-disk result store."""
     use_disk = not os.environ.get("REPRO_BENCH_NO_CACHE", "").strip()
-    if use_disk:
-        configure(disk_cache=True)
+    use_memo = not os.environ.get("REPRO_BENCH_NO_MEMO", "").strip()
+    configure(disk_cache=use_disk, memo=use_memo)
     yield
     stats = cache_stats()
     print(
@@ -44,6 +51,13 @@ def persistent_result_cache():
         f"{stats['misses']} misses, disk {stats['disk_hits']} hits / "
         f"{stats['disk_misses']} misses]"
     )
+    memo = memo_stats()
+    if memo["enabled"]:
+        print(
+            f"[sweep fast path: {memo['hits']} snapshot hits / "
+            f"{memo['misses']} misses, {memo['prefix_forks']} prefix "
+            f"forks, {memo['resumed_phases']} phases resumed]"
+        )
 
 
 def bench_apps() -> list[str] | None:
@@ -55,18 +69,25 @@ def bench_apps() -> list[str] | None:
 
 @pytest.fixture
 def experiment(benchmark):
-    """Run one experiment under the benchmark timer and save its report."""
+    """Run one experiment under the benchmark timer and save its report.
+
+    The returned runner records its wall clock on ``runner.elapsed_s``
+    so benchmarks can emit perf-trajectory artifacts (BENCH_*.json).
+    """
 
     def runner(exp_id: str):
         apps = bench_apps()
+        t0 = time.perf_counter()
         result = benchmark.pedantic(
             run_experiment, args=(exp_id,), kwargs={"apps": apps},
             rounds=1, iterations=1,
         )
+        runner.elapsed_s = time.perf_counter() - t0
         path = result.save(RESULTS_DIR)
         print(f"\n{result.render()}\n[saved to {path}]")
         return result
 
+    runner.elapsed_s = None
     return runner
 
 

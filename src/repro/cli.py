@@ -201,9 +201,17 @@ def cmd_faults(args) -> int:
 def _configure_runner(args) -> None:
     from repro.harness import configure
 
+    kwargs = {}
+    if hasattr(args, "no_memo"):
+        # Sweep-style commands run the sweep fast path by default
+        # (--no-memo opts out); --memo-dir adds a persistent snapshot
+        # tier on top of the in-memory one.
+        kwargs["memo"] = not args.no_memo
+        kwargs["memo_dir"] = getattr(args, "memo_dir", None)
     configure(
         jobs=getattr(args, "jobs", None),
         disk_cache=not getattr(args, "no_cache", False),
+        **kwargs,
     )
 
 
@@ -281,6 +289,16 @@ def cmd_sweep(args) -> int:
     print(header)
     for row in rows:
         print(f"{row[0]:<10s}" + "".join(f"{v:13.2f}" for v in row[1:]))
+    from repro.harness import memo_stats
+
+    memo = memo_stats()
+    if memo["enabled"]:
+        print(f"\nsweep fast path: {memo['hits']} snapshot hits, "
+              f"{memo['misses']} misses, {memo['prefix_forks']} prefix "
+              f"forks, {memo['resumed_phases']} phases resumed, "
+              f"{memo['snapshot_bytes'] / 1e6:.1f} MB stored"
+              + (f", {memo['corrupt']} quarantined"
+                 if memo["corrupt"] else ""))
     if args.metrics_out:
         import json
 
@@ -400,11 +418,20 @@ def cmd_verify(args) -> int:
     if args.differential or run_all:
         from repro.verify import differential
 
+        lanes = (
+            tuple(
+                lane.strip()
+                for lane in args.lanes.split(",")
+                if lane.strip()
+            )
+            if getattr(args, "lanes", None) else None
+        )
         report = differential.run_differential(
             apps=apps if apps is not None else differential.DEFAULT_APPS,
             policies=policies,
             seed=args.seed,
             jobs=max(2, jobs),
+            lanes=lanes,
         )
         print(f"differential: {report['comparisons']} comparisons over "
               f"{report['pairs']} pairs ({', '.join(report['lanes'])})")
@@ -586,6 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for independent runs")
     swp.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="skip the persistent result cache")
+    swp.add_argument("--no-memo", action="store_true", dest="no_memo",
+                     help="disable the sweep fast path (phase-prefix "
+                          "snapshot memoization; on by default)")
+    swp.add_argument("--memo-dir", default=None, dest="memo_dir",
+                     metavar="DIR",
+                     help="persist phase snapshots under DIR so later "
+                          "sweeps resume across processes")
     swp.add_argument("--fault-plan", default=None, dest="fault_plan",
                      help="inject faults into every run: preset name, "
                           "inline JSON, or @file.json (trace-dependent "
@@ -680,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--apps", default=None,
                      help="comma-separated app subset (default: lanes' "
                           "own defaults; golden uses the full registry)")
+    ver.add_argument("--lanes", default=None,
+                     help="comma-separated differential lane subset "
+                          "(fast_slow, cache, traced, faultplan, "
+                          "parallel, memo; default: all)")
     ver.add_argument("--policy", action="append",
                      choices=sorted(POLICY_FACTORIES),
                      help="repeatable policy subset (default: all)")

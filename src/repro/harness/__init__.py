@@ -22,6 +22,8 @@ from repro.harness.runner import (
     clear_cache,
     configure,
     last_sweep_summary,
+    memo_stats,
+    publish_memo_metrics,
     run_sim,
     run_sims_parallel,
     speedup_table,
@@ -39,6 +41,8 @@ __all__ = [
     "format_table",
     "geomean",
     "last_sweep_summary",
+    "memo_stats",
+    "publish_memo_metrics",
     "run_experiment",
     "run_sim",
     "run_sims_parallel",

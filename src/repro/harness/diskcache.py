@@ -19,10 +19,19 @@ file treats it as a miss, moves the file into ``<root>/quarantine/`` for
 post-mortem inspection, and counts it in :meth:`DiskCache.stats` — a
 corrupted cache (killed worker mid-write on a non-atomic filesystem,
 bit rot, manual tampering) can never crash a sweep or serve wrong data.
+
+Besides whole-run results, the store holds a second record kind:
+**phase-boundary snapshot blobs** (see :mod:`repro.sim.snapshot`) under
+``<root>/snap/``, with the same atomic-write, checksum and quarantine
+discipline (:meth:`DiskCache.store_blob` / :meth:`DiskCache.load_blob`).
+Snapshot payloads are opaque bytes here — the snapshot layer runs its
+own structural validation on top and calls
+:meth:`DiskCache.quarantine_blob` for entries that decode but lie.
 """
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import hashlib
 import json
@@ -127,6 +136,8 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.snap_hits = 0
+        self.snap_misses = 0
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directory listings manageable.
@@ -208,9 +219,85 @@ class DiskCache:
             raise
         return path
 
+    # -- snapshot blobs ----------------------------------------------------
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / "snap" / key[:2] / f"{key}.json"
+
+    def has_blob(self, key: str) -> bool:
+        return self._blob_path(key).exists()
+
+    def load_blob(self, key: str) -> bytes | None:
+        """The stored snapshot blob for ``key``, or None.
+
+        The same degradation contract as :meth:`load`: anything
+        truncated, unparsable, mislabeled or checksum-mismatched is
+        quarantined and reported as a miss, never raised.
+        """
+        path = self._blob_path(key)
+        try:
+            with path.open() as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.snap_misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, EOFError):
+            self.snap_misses += 1
+            self._quarantine(path)
+            return None
+        except OSError:
+            self.snap_misses += 1
+            return None
+        try:
+            if payload["key"] != key:
+                raise ValueError("entry key does not match its filename")
+            blob = base64.b64decode(payload["blob"], validate=True)
+            if payload["checksum"] != hashlib.sha256(blob).hexdigest():
+                raise ValueError("checksum mismatch")
+        except (KeyError, TypeError, ValueError):
+            self.snap_misses += 1
+            self._quarantine(path)
+            return None
+        self.snap_hits += 1
+        return blob
+
+    def store_blob(self, key: str, blob: bytes) -> Path:
+        """Persist a snapshot blob under ``key`` atomically."""
+        path = self._blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "simulator_version": SIMULATOR_VERSION,
+            "checksum": hashlib.sha256(blob).hexdigest(),
+            "blob": base64.b64encode(blob).decode("ascii"),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def quarantine_blob(self, key: str) -> None:
+        """Move a structurally-invalid snapshot aside (checksum passed,
+        but the snapshot layer's validation rejected the contents)."""
+        path = self._blob_path(key)
+        if path.exists():
+            self._quarantine(path)
+
     def stats(self) -> dict[str, int]:
         return {
             "disk_hits": self.hits,
             "disk_misses": self.misses,
             "disk_quarantined": self.quarantined,
+            "snap_hits": self.snap_hits,
+            "snap_misses": self.snap_misses,
         }

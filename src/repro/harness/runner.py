@@ -41,10 +41,17 @@ from repro.config import SystemConfig
 from repro.harness.diskcache import DiskCache, cache_key
 from repro.harness.report import geomean
 from repro.sim import SimulationResult, simulate
+from repro.sim.sweep import PhaseMemo
 from repro.workloads import get_workload
 
 #: Default cap on in-process memoized results.
 DEFAULT_CACHE_SIZE = 256
+
+#: Built traces kept for reuse across a sweep's runs.  Sharing the trace
+#: object also shares the per-phase SoA replay arrays and prefix digests
+#: cached on it (see :mod:`repro.sim.sweep`), so every policy variant in
+#: a cohort skips both trace generation and array derivation.
+DEFAULT_TRACE_CACHE_SIZE = 8
 
 #: Default attempts per run in :func:`run_sims_parallel` (1 = no retry).
 DEFAULT_MAX_ATTEMPTS = 2
@@ -59,12 +66,32 @@ _STATS = {
     "evictions": 0,
     "run_retries": 0,
     "pool_failures": 0,
+    # Phase-memo counters merged back from worker processes; the serial
+    # path's counters live on the in-process PhaseMemo itself, so
+    # :func:`memo_stats` sums both (the sources are disjoint).
+    "memo_hits": 0,
+    "memo_misses": 0,
+    "memo_stores": 0,
+    "memo_snapshot_bytes": 0,
+    "memo_resumed_phases": 0,
+    "memo_corrupt": 0,
 }
+#: Scalar memo counters shipped as per-run deltas from pool workers.
+_MEMO_DELTA_KEYS = (
+    "hits", "misses", "stores", "snapshot_bytes",
+    "resumed_phases", "corrupt",
+)
 _DISK: DiskCache | None = (
     DiskCache() if os.environ.get("REPRO_DISK_CACHE", "").strip() not in ("", "0")
     else None
 )
 _JOBS = 1
+_TRACES: OrderedDict[tuple, object] = OrderedDict()
+_MEMO: PhaseMemo | None = None
+_MEMO_DIR: str | None = os.environ.get("REPRO_MEMO_DIR", "").strip() or None
+_MEMO_ENABLED: bool = _MEMO_DIR is not None or (
+    os.environ.get("REPRO_MEMO", "").strip() not in ("", "0")
+)
 #: Observability summary of the most recent :func:`run_sims_parallel`
 #: sweep (see :func:`last_sweep_summary`).
 _LAST_SWEEP: dict | None = None
@@ -84,6 +111,8 @@ def configure(
     jobs: int | None = None,
     disk_cache: bool | None = None,
     cache_dir: str | None = None,
+    memo: bool | None = None,
+    memo_dir: str | None = None,
 ) -> None:
     """Adjust runner-wide settings.
 
@@ -93,26 +122,75 @@ def configure(
         disk_cache: enable/disable the persistent result store.
         cache_dir: directory for the persistent store (implies enabling
             it); defaults to ``results/cache`` / ``REPRO_CACHE_DIR``.
+        memo: enable/disable the sweep fast path (phase-prefix snapshot
+            memoization; see :mod:`repro.sim.sweep`).  Off by default
+            (``REPRO_MEMO=1`` enables it process-wide); the sweep CLI
+            turns it on for sweeps unless ``--no-memo`` is given.
+        memo_dir: directory for a persistent snapshot tier (implies
+            enabling the memo).  Without it, snapshots share the result
+            store's directory when the disk cache is on, else stay
+            purely in-memory.
     """
-    global _DISK, _JOBS
+    global _DISK, _JOBS, _MEMO, _MEMO_DIR, _MEMO_ENABLED
     if jobs is not None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         _JOBS = jobs
     if cache_dir is not None:
         _DISK = DiskCache(cache_dir)
+        _MEMO = None  # a shared-disk memo tier must follow the move
     elif disk_cache is not None:
         _DISK = DiskCache() if disk_cache else None
+        _MEMO = None
+    if memo_dir is not None:
+        _MEMO_DIR = memo_dir or None
+        _MEMO = None
+        if memo is None:
+            memo = True
+    if memo is not None:
+        _MEMO_ENABLED = bool(memo)
+        if not _MEMO_ENABLED:
+            _MEMO = None
+
+
+def _memo_store() -> PhaseMemo | None:
+    """The process-wide snapshot store, built lazily when enabled."""
+    global _MEMO
+    if not _MEMO_ENABLED:
+        return None
+    if _MEMO is None:
+        disk = DiskCache(_MEMO_DIR) if _MEMO_DIR else _DISK
+        _MEMO = PhaseMemo(disk=disk)
+    return _MEMO
+
+
+def _get_trace(config, app, footprint_mb, seed):
+    """Build-or-reuse one workload trace (shared across a cohort)."""
+    key = (config, app, footprint_mb, seed)
+    trace = _TRACES.get(key)
+    if trace is not None:
+        _TRACES.move_to_end(key)
+        return trace
+    trace = get_workload(app, config, footprint_mb=footprint_mb, seed=seed)
+    _TRACES[key] = trace
+    while len(_TRACES) > DEFAULT_TRACE_CACHE_SIZE:
+        _TRACES.popitem(last=False)
+    return trace
 
 
 def clear_cache() -> None:
     """Drop all in-process memoized results and reset counters."""
     _CACHE.clear()
+    _TRACES.clear()
     _STATS.update({key: 0 for key in _STATS})
     if _DISK is not None:
         _DISK.hits = 0
         _DISK.misses = 0
         _DISK.quarantined = 0
+        _DISK.snap_hits = 0
+        _DISK.snap_misses = 0
+    if _MEMO is not None:
+        _MEMO.clear()
 
 
 def last_sweep_summary() -> dict | None:
@@ -125,6 +203,10 @@ def last_sweep_summary() -> dict | None:
           "runs": 12, "ok": 11, "failed": 1,
           "cache": {"hits": 4, "misses": 8,
                     "run_retries": 1, "pool_failures": 0},
+          "memo": {"enabled": True, "hits": 6, "misses": 2,
+                   "stores": 14, "snapshot_bytes": 5242880,
+                   "resumed_phases": 38, "corrupt": 0,
+                   "prefix_forks": 3},
           "wall_clock_s": {"total": 3.2,
                            "per_run": {"st/oasis": 0.41, ...}},
           "counters": {"fault.page": ..., "migration.count": ..., ...},
@@ -156,10 +238,47 @@ def cache_stats() -> dict[str, int]:
         "disk_hits": 0,
         "disk_misses": 0,
         "disk_quarantined": 0,
+        "snap_hits": 0,
+        "snap_misses": 0,
     }
     if _DISK is not None:
         stats.update(_DISK.stats())
     return stats
+
+
+def memo_stats() -> dict:
+    """Process-lifetime sweep-fast-path counters, all sources combined.
+
+    Serial runs count on the in-process :class:`PhaseMemo`; pool runs
+    ship per-run deltas back from their workers into ``_STATS`` — the
+    two sources are disjoint, so their sum is the process total.
+    """
+    totals: dict = {
+        key: _STATS["memo_" + key] for key in _MEMO_DELTA_KEYS
+    }
+    totals.update(
+        {"prefix_forks": 0, "mem_entries": 0, "mem_bytes": 0}
+    )
+    memo = _MEMO
+    if memo is not None:
+        live = memo.stats()
+        for key in _MEMO_DELTA_KEYS:
+            totals[key] += live[key]
+        totals["prefix_forks"] = live["prefix_forks"]
+        totals["mem_entries"] = live["mem_entries"]
+        totals["mem_bytes"] = live["mem_bytes"]
+    totals["enabled"] = _MEMO_ENABLED
+    return totals
+
+
+def publish_memo_metrics(registry) -> None:
+    """Publish memo counters as gauges on an obs registry.
+
+    Serve-mode and CLI sweeps call this after each sweep so dashboards
+    see the same numbers ``last_sweep_summary`` reports.
+    """
+    for name, value in memo_stats().items():
+        registry.set_gauge(f"memo.{name}", float(value))
 
 
 def _remember(key: tuple, result: SimulationResult) -> None:
@@ -205,8 +324,18 @@ def run_sim(
         if stored is not None:
             _remember(key, stored)
             return stored
-    trace = get_workload(app, config, footprint_mb=footprint_mb, seed=seed)
-    result = simulate(config, trace, make_policy(policy, **policy_kwargs))
+    trace = _get_trace(config, app, footprint_mb, seed)
+    memo = _memo_store()
+    session = None
+    if memo is not None:
+        session = memo.session(
+            config, app, policy,
+            footprint_mb=footprint_mb, seed=seed,
+            policy_kwargs=policy_kwargs,
+        )
+    result = simulate(
+        config, trace, make_policy(policy, **policy_kwargs), memo=session
+    )
     if disk is not None:
         disk.store(digest, result)
     _remember(key, result)
@@ -298,6 +427,8 @@ def _runner_config() -> dict:
         "disk_enabled": _DISK is not None,
         "disk_root": str(_DISK.root) if _DISK is not None else None,
         "cache_size": _cache_capacity(),
+        "memo_enabled": _MEMO_ENABLED,
+        "memo_dir": _MEMO_DIR,
     }
 
 
@@ -307,6 +438,8 @@ def _apply_runner_config(cfg: dict) -> None:
         jobs=cfg["jobs"],
         disk_cache=cfg["disk_enabled"],
         cache_dir=cfg["disk_root"] if cfg["disk_enabled"] else None,
+        memo=cfg.get("memo_enabled", False),
+        memo_dir=cfg.get("memo_dir"),
     )
 
 
@@ -345,12 +478,44 @@ def _maybe_fault_hook(spec: dict) -> None:
         time.sleep(3600.0)
 
 
-def _worker(payload: tuple) -> SimulationResult:
+def _worker(payload: tuple) -> tuple:
+    """Pool entry point: run one spec, ship back (result, memo delta).
+
+    Workers are long-lived, so memo counters accumulate across the runs
+    one worker computes; the delta (this run's counter movement plus the
+    lane records drained since the last run) is what the parent merges,
+    keeping the sweep's global accounting double-count-free.
+    """
     spec, runner_cfg = payload
     if runner_cfg is not None:
         _apply_runner_config(runner_cfg)
         _maybe_fault_hook(spec)
-    return _run_spec(spec)
+    memo = _memo_store()
+    before = memo.stats() if memo is not None else None
+    result = _run_spec(spec)
+    delta = None
+    if memo is not None:
+        after = memo.stats()
+        delta = {
+            "counters": {
+                key: after[key] - before[key] for key in _MEMO_DELTA_KEYS
+            },
+            "lanes": memo.lanes.drain(),
+        }
+    return result, delta
+
+
+def _merge_memo_delta(delta: dict | None) -> None:
+    """Fold one worker run's memo delta into the parent's accounting."""
+    if not delta:
+        return
+    for key, value in delta["counters"].items():
+        _STATS["memo_" + key] += value
+    memo = _memo_store()
+    if memo is not None and delta["lanes"]:
+        # Replaying through the parent's lanes recomputes shared-prefix
+        # and fork accounting against the sweep-global cohort state.
+        memo.lanes.replay(delta["lanes"])
 
 
 def _failure_from(spec: dict, attempts: int, exc: BaseException | None,
@@ -481,7 +646,7 @@ def _drain_pool(
                 for future in done:
                     key, spec, _deadline, started = inflight.pop(future)
                     try:
-                        result = future.result()
+                        result, memo_delta = future.result()
                     except BrokenProcessPool:
                         # The dead worker poisoned every in-flight future;
                         # the culprit cannot be attributed, so nobody is
@@ -504,6 +669,7 @@ def _drain_pool(
                                 spec, attempts[key], exc
                             )
                         continue
+                    _merge_memo_delta(memo_delta)
                     fresh[key] = result
                     _remember(key, result)
                     if timings is not None:
@@ -607,6 +773,7 @@ def run_sims_parallel(
     global _LAST_SWEEP
     sweep_started = time.monotonic()
     stats_before = dict(_STATS)
+    memo_before = memo_stats()
     timings: dict[tuple, float] = {}
     specs = [_normalize_request(r) for r in requests]
     n_jobs = jobs if jobs is not None else _JOBS
@@ -698,6 +865,7 @@ def run_sims_parallel(
             for name, value in snap_counters.items():
                 counters[name] = counters.get(name, 0.0) + value
     n_failed = sum(1 for r in out if isinstance(r, RunFailure))
+    memo_after = memo_stats()
     _LAST_SWEEP = {
         "runs": len(specs),
         "ok": len(specs) - n_failed,
@@ -705,6 +873,18 @@ def run_sims_parallel(
         "cache": {
             name: _STATS[name] - stats_before[name]
             for name in ("hits", "misses", "run_retries", "pool_failures")
+        },
+        # Sweep fast path accounting, as a delta over this sweep only —
+        # served and CLI sweeps read the same numbers from here.
+        "memo": {
+            "enabled": memo_after["enabled"],
+            **{
+                name: memo_after[name] - memo_before[name]
+                for name in (
+                    "hits", "misses", "stores", "snapshot_bytes",
+                    "resumed_phases", "corrupt", "prefix_forks",
+                )
+            },
         },
         "wall_clock_s": {
             "total": time.monotonic() - sweep_started,

@@ -466,6 +466,17 @@ class SimulationService:
                     self._sim_counters[name] = (
                         self._sim_counters.get(name, 0.0) + value
                     )
+                memo = summary.get("memo") or {}
+                self.metrics.set_gauge(
+                    "serve.memo_enabled", float(bool(memo.get("enabled")))
+                )
+                for name in (
+                    "hits", "misses", "stores", "snapshot_bytes",
+                    "resumed_phases", "corrupt", "prefix_forks",
+                ):
+                    self.metrics.inc(
+                        f"serve.memo_{name}", float(memo.get(name, 0))
+                    )
             for job, result in zip(batch, results):
                 if isinstance(result, SimulationResult):
                     self._finish_ok(job, result)

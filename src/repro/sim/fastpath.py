@@ -219,16 +219,30 @@ class FastReplay:
         n = len(phase.gpu)
         if n == 0:
             return
-        self._gpu = phase.gpu.astype(np.int64)
-        self._page = phase.page
-        self._idx = phase.page - self._first_page
-        self._is_w = phase.write != 0
-        self._weight = phase.weight
-        self._bit = np.left_shift(np.int64(1), self._gpu)
-        if self._counting:
+        # Derived SoA arrays are pure functions of the phase records and
+        # the (first_page, n_gpus, pages_per_group) geometry, so a sweep
+        # replaying the same trace under many policies computes them once
+        # and shares them via a cache slot on the phase itself.  All
+        # arrays are read-only below (slicing/indexing only), so sharing
+        # is safe; the counter key is always built so counting and
+        # non-counting policies share one entry.
+        soa_key = (self._first_page, self._n_gpus, self._ppg)
+        cached = getattr(phase, "_soa", None)
+        if cached is not None and cached[0] == soa_key:
+            (_, self._gpu, self._idx, self._is_w,
+             self._bit, self._key) = cached
+        else:
+            self._gpu = phase.gpu.astype(np.int64)
+            self._idx = phase.page - self._first_page
+            self._is_w = phase.write != 0
+            self._bit = np.left_shift(np.int64(1), self._gpu)
             self._key = (
-                self._page // self._ppg
+                phase.page // self._ppg
             ) * self._n_gpus + self._gpu
+            phase._soa = (soa_key, self._gpu, self._idx, self._is_w,
+                          self._bit, self._key)
+        self._page = phase.page
+        self._weight = phase.weight
         start = 0
         while start < n:
             stop = min(start + CHUNK, n)

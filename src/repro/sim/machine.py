@@ -52,6 +52,7 @@ class Machine:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         verifier: Verifier | None = None,
+        memo=None,
     ) -> None:
         if trace.n_gpus != config.n_gpus:
             raise ValueError(
@@ -170,6 +171,24 @@ class Machine:
         # or an attached tracer/metrics registry — per-event observation
         # needs the exact per-record path, which is bit-identical anyway).
         self._fast = None if self._obs_on else FastReplay.for_machine(self)
+        # Phase-prefix memoization (a MemoSession from
+        # repro.sim.sweep.PhaseMemo): only healthy, unobserved,
+        # multi-phase runs participate.  Observed runs would lose their
+        # per-event records across skipped phases, and injected runs'
+        # injector state is deliberately outside the snapshot payload.
+        # The session still captures boundaries on slow-path runs — its
+        # key carries the replay-path flag, so fast and slow prefixes
+        # can never cross-pollinate.
+        self._memo = (
+            memo
+            if (
+                memo is not None
+                and not self._obs_on
+                and self.injector is None
+                and len(trace.phases) >= 2
+            )
+            else None
+        )
 
     # -- setup helpers ----------------------------------------------------
 
@@ -334,7 +353,21 @@ class Machine:
             }
             for track in span_tracks:
                 tracer.begin_span(track, "run", 0.0, run_args)
-        for index, phase in enumerate(self.trace.phases):
+        start_index = 0
+        memo = self._memo
+        if memo is not None:
+            resumed = memo.resume(self)
+            if resumed is not None:
+                # The snapshot captured the quiescent state after
+                # _do_frees at this boundary — exactly what the next
+                # iteration starts from — so the loop simply continues.
+                start_index, now, phases = resumed
+                replayed = sum(
+                    p.total_accesses
+                    for p in self.trace.phases[:start_index]
+                )
+        for index in range(start_index, len(self.trace.phases)):
+            phase = self.trace.phases[index]
             if tracing:
                 self.topology.note_time(now)
             self._do_allocations(index, now)
@@ -358,6 +391,10 @@ class Machine:
             if verifier.enabled:
                 replayed += phase.total_accesses
                 verifier.after_phase(self, index, replayed)
+            if memo is not None:
+                memo.after_phase(self, index, now, phases)
+        if memo is not None:
+            memo.finish(self)
         if tracing:
             tracer.finish(now)
         if self._obs_on:
@@ -525,6 +562,7 @@ def simulate(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     verifier: Verifier | None = None,
+    memo=None,
 ) -> SimulationResult:
     """Convenience wrapper: build a machine, run it, return the result.
 
@@ -535,8 +573,12 @@ def simulate(
     :class:`~repro.verify.invariants.InvariantVerifier` to check
     machine-wide invariants at every phase boundary (quiescent-point
     checks: the fast path stays engaged and the result is unchanged).
+    Pass a :class:`~repro.sim.snapshot.MemoSession` (from
+    :meth:`~repro.sim.sweep.PhaseMemo.session`) to resume from / store
+    phase-boundary snapshots — memoized runs are bit-identical to cold
+    ones (the ``memo`` differential lane asserts exactly that).
     """
     return Machine(
         config, trace, policy, tracer=tracer, metrics=metrics,
-        verifier=verifier,
+        verifier=verifier, memo=memo,
     ).run()

@@ -4,8 +4,10 @@ The simulator computes the same run through several redundant machines —
 the vectorized fast path vs the per-record slow path, the parallel
 harness pool vs in-process serial execution, the two-level result cache
 vs a fresh computation, an observed (traced/metered) run vs an
-unobserved one, and a fault-injected run that mixes fast phases with the
-forced-slow tail.  Each redundancy is documented as *bit-identical*, so
+unobserved one, a fault-injected run that mixes fast phases with the
+forced-slow tail, and a snapshot-resumed run vs a cold replay (the
+sweep fast path of :mod:`repro.sim.sweep`).  Each redundancy is
+documented as *bit-identical*, so
 each one is a free oracle: run both sides and compare canonical digests.
 A mismatch means one of the paths silently diverged — the exact class of
 bug a single-path test suite can never see.
@@ -33,12 +35,18 @@ import os
 from contextlib import contextmanager
 
 #: Per-(app, policy) lanes plus the batch-level harness lane.
-LANES = ("fast_slow", "cache", "traced", "faultplan", "parallel")
+LANES = ("fast_slow", "cache", "traced", "faultplan", "parallel", "memo")
 
 #: Default app subset: the two cheapest registry workloads.  The full
 #: 11-app matrix is the golden lane's job; the differential lanes re-run
 #: every pair 2-3 times each, so they stay on sub-second traces.
 DEFAULT_APPS = ("i2c", "mm")
+
+#: Extra apps the memo lane always covers.  The default apps are
+#: single-phase, which a phase-boundary snapshot can never shortcut
+#: (no interior boundary exists) — a multi-phase app makes the lane
+#: exercise a genuine snapshot resume, not just the no-op path.
+MEMO_APPS = ("c2d",)
 
 
 # -- digests ---------------------------------------------------------------
@@ -238,6 +246,43 @@ def check_serial_vs_parallel(config, pairs, seed: int = 0,
     return mismatches
 
 
+def check_memoized_vs_cold(config, app: str, policy: str,
+                           seed: int = 0) -> list[str]:
+    """A snapshot-resumed run vs the same run replayed cold.
+
+    Three runs against one in-memory :class:`~repro.sim.sweep.PhaseMemo`:
+    a cold reference (no memo), a populate run that captures the
+    phase-boundary snapshots, and a warm run that must resume from them.
+    All three must agree bit-for-bit; on a multi-phase app the warm run
+    must additionally have *hit* — a memo that silently stopped resuming
+    would otherwise pass on the strength of the cold path alone.
+    """
+    from repro.sim.sweep import PhaseMemo
+
+    cold = _simulate(config, app, policy, seed)
+    memo = PhaseMemo()
+    populate = _simulate(
+        config, app, policy, seed,
+        memo=memo.session(config, app, policy, seed=seed),
+    )
+    warm = _simulate(
+        config, app, policy, seed,
+        memo=memo.session(config, app, policy, seed=seed),
+    )
+    label = f"{app}/{policy}"
+    mismatches = (
+        _compare("memo(populate)", label, cold, populate)
+        + _compare("memo(warm)", label, cold, warm)
+    )
+    stats = memo.stats()
+    if stats["stores"] > 0 and stats["hits"] == 0:
+        mismatches.append(
+            f"memo {label}: snapshots were stored but the warm run "
+            f"never resumed from one"
+        )
+    return mismatches
+
+
 # -- the oracle runner -----------------------------------------------------
 
 _PAIR_LANES = {
@@ -245,6 +290,7 @@ _PAIR_LANES = {
     "cache": check_cached_vs_recomputed,
     "traced": check_traced_vs_untraced,
     "faultplan": check_faultplan_forced_slow,
+    "memo": check_memoized_vs_cold,
 }
 
 
@@ -273,6 +319,19 @@ def run_differential(
         raise ValueError(f"unknown lanes {unknown}; known: {list(LANES)}")
     config = baseline_config()
     pairs = [(app, policy) for app in apps for policy in policies]
+    # The memo lane insists on at least one multi-phase app (see
+    # MEMO_APPS): single-phase traces have no interior boundary, so on
+    # them memoized-vs-cold only proves the no-op path.
+    memo_extra = (
+        [
+            (app, policy)
+            for app in MEMO_APPS
+            if app not in apps
+            for policy in policies
+        ]
+        if "memo" in lanes
+        else []
+    )
     comparisons = 0
     mismatches: list[str] = []
     for app, policy in pairs:
@@ -282,6 +341,9 @@ def run_differential(
                 continue
             mismatches.extend(check(config, app, policy, seed))
             comparisons += 1
+    for app, policy in memo_extra:
+        mismatches.extend(check_memoized_vs_cold(config, app, policy, seed))
+        comparisons += 1
     if "parallel" in lanes and len(pairs) > 1:
         mismatches.extend(
             check_serial_vs_parallel(config, pairs, seed=seed, jobs=jobs)

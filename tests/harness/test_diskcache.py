@@ -35,6 +35,7 @@ class TestDiskCache:
         assert loaded.to_dict() == result.to_dict()
         assert cache.stats() == {
             "disk_hits": 1, "disk_misses": 0, "disk_quarantined": 0,
+            "snap_hits": 0, "snap_misses": 0,
         }
 
     def test_miss_on_unknown_key(self, tmp_path):
@@ -42,6 +43,7 @@ class TestDiskCache:
         assert cache.load("0" * 64) is None
         assert cache.stats() == {
             "disk_hits": 0, "disk_misses": 1, "disk_quarantined": 0,
+            "snap_hits": 0, "snap_misses": 0,
         }
 
     def test_corrupt_entry_is_a_miss(self, config, tmp_path):

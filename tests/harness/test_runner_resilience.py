@@ -256,6 +256,8 @@ class TestWorkerConfigPassthrough:
             "disk_enabled": True,
             "disk_root": str(tmp_path / "elsewhere"),
             "cache_size": 17,
+            "memo_enabled": False,
+            "memo_dir": None,
         }
         # A spawned worker starts from defaults; applying the snapshot
         # must reproduce the parent's runner state exactly.
