@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
-	verify-serve verify-sim verify-memo golden-update
+	verify-serve verify-sim verify-memo verify-chaos golden-update
 
 test:
 	$(PYTHON) -m pytest -q
@@ -42,7 +42,18 @@ verify-memo:
 	$(PYTHON) -m repro.cli verify --differential --lanes memo --apps c2d,st --jobs 4
 	$(PYTHON) benchmarks/bench_memo.py --smoke
 
-verify: verify-faults verify-obs verify-serve verify-sim verify-memo
+# Durability verification: journal/recovery/breaker suites, then the
+# bounded (~2 min) kill-restart-recover soak — 3 seeded chaos cycles
+# asserting no acked job is lost and every served result stays
+# bit-identical to the pinned goldens — plus the crash-recovery bench
+# (zero re-simulation for cache-complete jobs).
+verify-chaos:
+	$(PYTHON) -m pytest tests/chaos tests/serve/test_journal.py tests/serve/test_recovery.py -q
+	REPRO_NO_FSYNC=1 $(PYTHON) -m repro.cli chaos --cycles 3 --seed 0 --apps mm --policies oasis,on_touch
+	REPRO_NO_FSYNC=1 $(PYTHON) benchmarks/bench_recovery.py --smoke
+
+verify: verify-faults verify-obs verify-serve verify-sim verify-memo \
+	verify-chaos
 
 # Re-pin tests/golden/golden.json after an intentional model change;
 # commit the file so the review diff names every counter that moved.

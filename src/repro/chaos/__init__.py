@@ -1,0 +1,50 @@
+"""repro.chaos — deterministic infrastructure-fault injection.
+
+:mod:`repro.faults` breaks the *simulated machine*; this package breaks
+the *machinery that runs the simulations*: the disk cache, the snapshot
+blob tier, the serve journal, the worker pool and the dispatcher.  A
+frozen :class:`ChaosPlan` names every fault by operation index, a
+:class:`ChaosInjector` arms it through explicit hooks in the
+instrumented modules, and :func:`run_soak` drives the full
+kill-restart-recover cycle the durable serve layer promises to survive:
+
+* no acknowledged job is ever lost — every job whose ``accepted``
+  record was made durable reaches a terminal state after recovery;
+* every served result stays bit-identical to a chaos-free run (checked
+  against the golden digests in ``tests/golden/golden.json``).
+
+Quickstart (see also ``repro-oasis chaos --help``)::
+
+    from repro.chaos import ChaosPlan, ChaosInjector
+
+    plan = ChaosPlan.random(seed=7)
+    with ChaosInjector(plan) as injector:
+        ...  # run sweeps / serve traffic under injected faults
+    print(injector.report())
+"""
+
+from repro.chaos.inject import ChaosInjector, ChaosWorkerKill, WriteFault
+from repro.chaos.plan import (
+    CATEGORIES,
+    BlobCorrupt,
+    ChaosPlan,
+    DispatchDelay,
+    IOFault,
+    TornWrite,
+    WorkerKill,
+)
+from repro.chaos.soak import run_soak
+
+__all__ = [
+    "BlobCorrupt",
+    "CATEGORIES",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosWorkerKill",
+    "DispatchDelay",
+    "IOFault",
+    "TornWrite",
+    "WorkerKill",
+    "WriteFault",
+    "run_soak",
+]

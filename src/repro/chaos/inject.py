@@ -1,0 +1,208 @@
+"""Runtime application of a :class:`~repro.chaos.plan.ChaosPlan`.
+
+The injector mirrors :class:`repro.faults.inject.FaultInjector` one
+layer down: instead of links and frames, it arms the explicit chaos
+hooks that :mod:`repro.harness.diskcache`, :mod:`repro.serve.journal`
+and :mod:`repro.harness.runner` expose as module-level ``_CHAOS``
+globals.  :meth:`ChaosInjector.install` plants the injector into all
+three modules; :meth:`ChaosInjector.uninstall` (or the context-manager
+form) restores them, so a chaos session can never leak into unrelated
+tests or sweeps.
+
+Determinism: every hook advances a per-category operation counter under
+a lock and fires exactly the plan events addressed to that index.  No
+wall clock, no RNG — the same plan over the same operation stream
+always faults the same operations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.chaos.plan import ChaosPlan
+
+
+class ChaosWorkerKill(OSError):
+    """A simulation attempt died as if its worker process was killed.
+
+    Subclasses :class:`OSError` so the harness's PR-2 retry semantics
+    (``_RETRYABLE``) treat it exactly like a real environmental death:
+    bounded retries with backoff, then a structured ``RunFailure``.
+    """
+
+
+@dataclass(frozen=True)
+class WriteFault:
+    """What a hooked write site should do to the current operation."""
+
+    mode: str  # "torn" | "oserror"
+    fraction: float = 0.5
+
+
+class ChaosInjector:
+    """Apply one plan's events through the module chaos hooks."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._ops = {
+            ("result", "write"): 0, ("result", "read"): 0,
+            ("blob", "write"): 0, ("blob", "read"): 0,
+            ("journal", "write"): 0, ("journal", "read"): 0,
+        }
+        self._runs = 0
+        self._dispatches = 0
+        self._installed = False
+        self.fired: dict[str, int] = {
+            "torn_writes": 0,
+            "io_faults": 0,
+            "blob_corruptions": 0,
+            "worker_kills": 0,
+            "dispatch_delays": 0,
+        }
+        # Index events by their trigger address for O(1) hook dispatch.
+        self._torn = {
+            (t.category, t.op): t for t in plan.torn_writes
+        }
+        self._io = {
+            (f.category, f.where, f.op): f for f in plan.io_faults
+        }
+        self._corrupt = {c.op: c for c in plan.blob_corruptions}
+        self._kills = {k.op for k in plan.worker_kills}
+        self._delays = {d.op: d for d in plan.dispatch_delays}
+
+    # -- hook protocol (called from instrumented modules) ------------------
+
+    def write_fault(self, category: str, path) -> WriteFault | None:
+        """Advance the category's write counter; describe any fault."""
+        with self._lock:
+            op = self._ops[(category, "write")]
+            self._ops[(category, "write")] = op + 1
+            torn = self._torn.get((category, op))
+            if torn is not None:
+                self.fired["torn_writes"] += 1
+                return WriteFault(mode="torn", fraction=torn.fraction)
+            if (category, "write", op) in self._io:
+                self.fired["io_faults"] += 1
+                return WriteFault(mode="oserror")
+        return None
+
+    def read_fault(self, category: str, path) -> None:
+        """Raise ``OSError`` when this read operation is targeted."""
+        with self._lock:
+            op = self._ops[(category, "read")]
+            self._ops[(category, "read")] = op + 1
+            armed = (category, "read", op) in self._io
+            if armed:
+                self.fired["io_faults"] += 1
+        if armed:
+            raise OSError(
+                f"chaos: injected read error ({category} op {op})"
+            )
+
+    def post_write(self, category: str, path) -> None:
+        """Corrupt a just-written blob in place (silent bit rot)."""
+        if category != "blob":
+            return
+        with self._lock:
+            # post_write shares the write counter's *previous* index —
+            # it describes the operation write_fault just counted.
+            op = self._ops[("blob", "write")] - 1
+            event = self._corrupt.get(op)
+            if event is None:
+                return
+            self.fired["blob_corruptions"] += 1
+        try:
+            path = Path(path)
+            raw = bytearray(path.read_bytes())
+            if not raw:
+                return
+            offset = event.offset % len(raw)
+            raw[offset] ^= 0xFF
+            path.write_bytes(bytes(raw))
+        except OSError:
+            pass
+
+    def run_fault(self, app: str, policy: str) -> None:
+        """Kill this simulation attempt when it is targeted."""
+        with self._lock:
+            op = self._runs
+            self._runs = op + 1
+            armed = op in self._kills
+            if armed:
+                self.fired["worker_kills"] += 1
+        if armed:
+            raise ChaosWorkerKill(
+                f"chaos: worker killed running {app}/{policy} "
+                f"(attempt {op})"
+            )
+
+    def dispatch_delay(self) -> float:
+        """Seconds of injected latency ahead of this dispatch round."""
+        with self._lock:
+            op = self._dispatches
+            self._dispatches = op + 1
+            event = self._delays.get(op)
+            if event is None:
+                return 0.0
+            self.fired["dispatch_delays"] += 1
+            return event.delay_s
+
+    # -- installation ------------------------------------------------------
+
+    def install(self) -> "ChaosInjector":
+        """Arm the hooks in diskcache, journal and runner."""
+        from repro.harness import diskcache, runner
+        from repro.serve import journal
+
+        if self._installed:
+            return self
+        for module in (diskcache, journal, runner):
+            if getattr(module, "_CHAOS", None) is not None:
+                raise RuntimeError(
+                    "another chaos injector is already installed"
+                )
+        diskcache._CHAOS = self
+        journal._CHAOS = self
+        runner._CHAOS = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        from repro.harness import diskcache, runner
+        from repro.serve import journal
+
+        if not self._installed:
+            return
+        for module in (diskcache, journal, runner):
+            if getattr(module, "_CHAOS", None) is self:
+                module._CHAOS = None
+        self._installed = False
+
+    def __enter__(self) -> "ChaosInjector":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> dict:
+        """Operations observed and events fired so far."""
+        with self._lock:
+            ops = {
+                f"{category}_{where}s": count
+                for (category, where), count in sorted(self._ops.items())
+            }
+            return {
+                "plan": self.plan.digest(),
+                "events_planned": len(self.plan.events),
+                "events_fired": dict(self.fired),
+                "ops": {
+                    **ops,
+                    "runs": self._runs,
+                    "dispatches": self._dispatches,
+                },
+            }

@@ -498,11 +498,70 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         batch_max=args.batch_max,
         run_timeout_s=args.run_timeout_s,
+        journal_dir=args.journal_dir,
     )
     try:
-        asyncio.run(run_server(service, args.host, args.port))
+        asyncio.run(run_server(
+            service, args.host, args.port,
+            drain_timeout_s=args.drain_timeout_s,
+        ))
     except KeyboardInterrupt:
         print("\nrepro-oasis serve: shut down")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the kill-restart-recover soak under injected faults."""
+    import json
+    import os
+    import tempfile
+
+    from repro.chaos import run_soak
+    from repro.chaos.soak import DEFAULT_APPS, DEFAULT_POLICIES
+
+    if args.no_fsync:
+        os.environ["REPRO_NO_FSYNC"] = "1"
+    state_dir = Path(args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-"))
+    report = run_soak(
+        state_dir / "journal",
+        state_dir / "cache",
+        cycles=args.cycles,
+        seed=args.seed,
+        apps=args.apps.split(",") if args.apps else DEFAULT_APPS,
+        policies=args.policies.split(",") if args.policies else DEFAULT_POLICIES,
+        jobs=args.jobs or 1,
+        resubmit_limit=args.resubmit_limit,
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"chaos: report written to {args.json_out}")
+    for cycle in report["per_cycle"]:
+        fired = sum(cycle["chaos"]["events_fired"].values())
+        print(
+            f"cycle {cycle['cycle']}: plan {cycle['plan']} "
+            f"acked={cycle['acked']} pre-crash={cycle['completed_before_crash']} "
+            f"cached={cycle['recovery'].get('recovered_cached', 0)} "
+            f"requeued={cycle['recovery'].get('recovered_requeued', 0)} "
+            f"torn={cycle['recovery'].get('journal_torn', 0)} "
+            f"events_fired={fired} resubmitted={cycle['resubmitted']}"
+        )
+    print(
+        f"chaos: {report['cycles']} cycle(s), {report['acked']} acked, "
+        f"{report['refused']} refused, lost={len(report['lost'])}, "
+        f"mismatched={len(report['mismatched'])}, "
+        f"unrecovered={len(report['unrecovered_failures'])}"
+    )
+    if not report["ok"]:
+        for label in report["lost"]:
+            print(f"  LOST: {label}")
+        for label in report["mismatched"]:
+            print(f"  MISMATCH: {label}")
+        for label in report["unrecovered_failures"]:
+            print(f"  UNRECOVERED: {label}")
+        print("chaos: FAILED")
+        return 1
+    print("chaos: all invariants held (no acked job lost, all results "
+          "bit-identical to golden)")
     return 0
 
 
@@ -744,7 +803,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-run wall-clock cap (needs --jobs >= 2)")
     srv.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="skip the persistent result cache")
+    srv.add_argument("--journal-dir", default=None, dest="journal_dir",
+                     help="write-ahead job journal directory; accepted "
+                          "jobs survive crashes and are recovered on "
+                          "the next start")
+    srv.add_argument("--drain-timeout-s", type=float, default=None,
+                     dest="drain_timeout_s",
+                     help="max seconds a SIGTERM drain waits for queued "
+                          "jobs before stopping (default: no limit)")
     srv.set_defaults(func=cmd_serve)
+
+    chs = sub.add_parser(
+        "chaos",
+        help="soak the durable serve layer with injected infrastructure "
+             "faults (kill-restart-recover cycles)",
+    )
+    chs.add_argument("--cycles", type=int, default=3,
+                     help="kill-restart-recover rounds (default 3)")
+    chs.add_argument("--seed", type=int, default=0,
+                     help="chaos-plan seed (cycle i uses seed+i)")
+    chs.add_argument("--apps", default=None,
+                     help="comma-separated app subset (default st,mm)")
+    chs.add_argument("--policies", default=None,
+                     help="comma-separated policy subset "
+                          "(default oasis,on_touch)")
+    chs.add_argument("--jobs", type=int, default=None,
+                     help="worker processes per dispatched batch")
+    chs.add_argument("--resubmit-limit", type=int, default=3,
+                     dest="resubmit_limit",
+                     help="client retries for jobs served a chaos failure")
+    chs.add_argument("--state-dir", default=None, dest="state_dir",
+                     help="directory holding the shared journal + cache "
+                          "(default: a fresh temp dir)")
+    chs.add_argument("--no-fsync", action="store_true", dest="no_fsync",
+                     help="skip fsync barriers for speed (CI soak)")
+    chs.add_argument("--json", default=None, dest="json_out",
+                     help="write the full soak report to this JSON file")
+    chs.set_defaults(func=cmd_chaos)
 
     sbm = sub.add_parser(
         "submit",

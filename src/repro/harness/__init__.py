@@ -21,6 +21,7 @@ from repro.harness.runner import (
     cache_stats,
     clear_cache,
     configure,
+    disk_cache,
     last_sweep_summary,
     memo_stats,
     publish_memo_metrics,
@@ -38,6 +39,7 @@ __all__ = [
     "clear_cache",
     "configure",
     "counter_table",
+    "disk_cache",
     "format_table",
     "geomean",
     "last_sweep_summary",

@@ -9,9 +9,12 @@ a semantic change to the simulator or an ``REPRO_FORCE_SLOW_PATH`` A/B
 run can never read a stale entry — and keeps one JSON file per result
 under ``results/cache/`` (override with ``REPRO_CACHE_DIR``).
 
-Writes are atomic (temp file + ``os.replace``), so concurrent workers
-racing on the same key at worst both compute it; neither can observe a
-half-written file.
+Writes are atomic and durable (temp file + ``fsync`` + ``os.replace`` +
+directory ``fsync``), so concurrent workers racing on the same key at
+worst both compute it; neither can observe a half-written file, and a
+power loss after :meth:`DiskCache.store` returns cannot roll the entry
+back.  Set ``REPRO_NO_FSYNC=1`` to skip the durability barriers for
+test speed (atomicity is unaffected).
 
 Every entry carries a content checksum over its result payload.  A load
 that finds a truncated, unparsable, mislabeled or checksum-mismatched
@@ -51,6 +54,28 @@ SIMULATOR_VERSION = 1
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = "results/cache"
+
+#: Chaos-injection hook (see :mod:`repro.chaos.inject`); None = inert.
+_CHAOS = None
+
+
+def fsync_enabled() -> bool:
+    """Durability barriers are on unless ``REPRO_NO_FSYNC`` is set."""
+    return os.environ.get("REPRO_NO_FSYNC", "").strip() in ("", "0")
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush directory metadata (new/renamed names) to stable storage."""
+    if not fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms without O_RDONLY directory opens
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _canonical(value):
@@ -157,6 +182,44 @@ class DiskCache:
             return
         self.quarantined += 1
 
+    def _atomic_write(self, path: Path, payload: dict, category: str) -> Path:
+        """Durably write one JSON entry: tmp + fsync + rename + dir fsync.
+
+        The ``category`` routes the operation through the chaos hook:
+        an injected "oserror" surfaces as a plain :class:`OSError`; an
+        injected torn write leaves a *truncated* payload at the final
+        path while the caller sees success — exactly the failure the
+        checksum/quarantine read side exists to absorb.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(payload)
+        fault = _CHAOS.write_fault(category, path) if _CHAOS is not None else None
+        if fault is not None:
+            if fault.mode == "oserror":
+                raise OSError(f"chaos: injected {category} write error")
+            path.write_text(data[: max(1, int(len(data) * fault.fraction))])
+            return path
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(data)
+                if fsync_enabled():
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        fsync_dir(path.parent)
+        if _CHAOS is not None:
+            _CHAOS.post_write(category, path)
+        return path
+
     def load(self, key: str) -> SimulationResult | None:
         """The stored result for ``key``, or None on miss/corruption.
 
@@ -167,6 +230,8 @@ class DiskCache:
         """
         path = self._path(key)
         try:
+            if _CHAOS is not None:
+                _CHAOS.read_fault("result", path)
             with path.open() as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
@@ -195,8 +260,6 @@ class DiskCache:
 
     def store(self, key: str, result: SimulationResult) -> Path:
         """Persist ``result`` under ``key`` atomically; returns the path."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         result_dict = result.to_dict()
         payload = {
             "key": key,
@@ -204,20 +267,7 @@ class DiskCache:
             "checksum": _result_checksum(result_dict),
             "result": result_dict,
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return self._atomic_write(self._path(key), payload, "result")
 
     # -- snapshot blobs ----------------------------------------------------
 
@@ -236,6 +286,8 @@ class DiskCache:
         """
         path = self._blob_path(key)
         try:
+            if _CHAOS is not None:
+                _CHAOS.read_fault("blob", path)
             with path.open() as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
@@ -263,28 +315,13 @@ class DiskCache:
 
     def store_blob(self, key: str, blob: bytes) -> Path:
         """Persist a snapshot blob under ``key`` atomically."""
-        path = self._blob_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
             "simulator_version": SIMULATOR_VERSION,
             "checksum": hashlib.sha256(blob).hexdigest(),
             "blob": base64.b64encode(blob).decode("ascii"),
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return self._atomic_write(self._blob_path(key), payload, "blob")
 
     def quarantine_blob(self, key: str) -> None:
         """Move a structurally-invalid snapshot aside (checksum passed,

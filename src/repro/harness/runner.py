@@ -66,6 +66,10 @@ _STATS = {
     "evictions": 0,
     "run_retries": 0,
     "pool_failures": 0,
+    # Result-store writes that failed with OSError (disk full, chaos
+    # injection): the result survives in memory and is recomputed by a
+    # later process instead of crashing this one.
+    "store_errors": 0,
     # Phase-memo counters merged back from worker processes; the serial
     # path's counters live on the in-process PhaseMemo itself, so
     # :func:`memo_stats` sums both (the sources are disjoint).
@@ -75,12 +79,15 @@ _STATS = {
     "memo_snapshot_bytes": 0,
     "memo_resumed_phases": 0,
     "memo_corrupt": 0,
+    "memo_io_errors": 0,
 }
 #: Scalar memo counters shipped as per-run deltas from pool workers.
 _MEMO_DELTA_KEYS = (
     "hits", "misses", "stores", "snapshot_bytes",
-    "resumed_phases", "corrupt",
+    "resumed_phases", "corrupt", "io_errors",
 )
+#: Chaos-injection hook (see :mod:`repro.chaos.inject`); None = inert.
+_CHAOS = None
 _DISK: DiskCache | None = (
     DiskCache() if os.environ.get("REPRO_DISK_CACHE", "").strip() not in ("", "0")
     else None
@@ -151,6 +158,11 @@ def configure(
         _MEMO_ENABLED = bool(memo)
         if not _MEMO_ENABLED:
             _MEMO = None
+
+
+def disk_cache() -> DiskCache | None:
+    """The runner's persistent result store, or None when disabled."""
+    return _DISK
 
 
 def _memo_store() -> PhaseMemo | None:
@@ -337,7 +349,13 @@ def run_sim(
         config, trace, make_policy(policy, **policy_kwargs), memo=session
     )
     if disk is not None:
-        disk.store(digest, result)
+        try:
+            disk.store(digest, result)
+        except OSError:
+            # A result that cannot be persisted (disk full, injected
+            # fault) is still a valid result; a later process simply
+            # recomputes it.
+            _STATS["store_errors"] += 1
     _remember(key, result)
     return result
 
@@ -404,6 +422,10 @@ def _spec_key(spec: dict) -> tuple:
 
 
 def _run_spec(spec: dict) -> SimulationResult:
+    if _CHAOS is not None:
+        # May raise a retryable ChaosWorkerKill before the run counts a
+        # cache miss, mirroring a worker that dies pre-compute.
+        _CHAOS.run_fault(spec["app"], spec["policy"])
     return run_sim(
         spec["config"],
         spec["app"],
@@ -771,6 +793,10 @@ def run_sims_parallel(
         workers write it, so a crashed sweep keeps its finished runs).
     """
     global _LAST_SWEEP
+    if _CHAOS is not None:
+        delay = _CHAOS.dispatch_delay()
+        if delay:
+            time.sleep(delay)
     sweep_started = time.monotonic()
     stats_before = dict(_STATS)
     memo_before = memo_stats()
@@ -842,12 +868,24 @@ def run_sims_parallel(
             out.append(fresh[key])
             continue
         started = time.monotonic()
-        try:
-            result = _run_spec(spec)
-        except Exception as exc:
-            # Serial path (jobs=1, or a spec that failed only here):
-            # diagnose instead of aborting, matching pool semantics.
-            out.append(_failure_from(spec, 1, exc))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = _run_spec(spec)
+                break
+            except Exception as exc:
+                # Serial path (jobs=1, or a spec that failed only here):
+                # retry the environmental failures the pool path would
+                # retry, then diagnose instead of aborting.
+                if isinstance(exc, _RETRYABLE) and attempt < max_attempts:
+                    _STATS["run_retries"] += 1
+                    _retry_backoff(attempt)
+                    continue
+                result = _failure_from(spec, attempt, exc)
+                break
+        if isinstance(result, RunFailure):
+            out.append(result)
             continue
         timings.setdefault(key, time.monotonic() - started)
         out.append(result)
@@ -882,7 +920,8 @@ def run_sims_parallel(
                 name: memo_after[name] - memo_before[name]
                 for name in (
                     "hits", "misses", "stores", "snapshot_bytes",
-                    "resumed_phases", "corrupt", "prefix_forks",
+                    "resumed_phases", "corrupt", "io_errors",
+                    "prefix_forks",
                 )
             },
         },

@@ -77,6 +77,9 @@ EVENT_KINDS = frozenset(
         "serve_dispatch",  # batch handed to the simulation pool
         "serve_done",  # job completed with a result
         "serve_fail",  # job failed (RunFailure, expired deadline, ...)
+        "serve_recover",  # journaled job re-owned after a restart
+        "serve_drain",  # graceful shutdown began refusing new work
+        "serve_breaker",  # worker-pool circuit breaker changed state
     }
 )
 

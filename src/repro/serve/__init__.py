@@ -13,7 +13,10 @@ parallel pool, and streams job lifecycle events sourced from the
 Layers:
 
 * :mod:`repro.serve.service` — the asyncio core (queue, lanes,
-  single-flight, dispatcher, metrics).
+  single-flight, dispatcher, circuit breaker, metrics).
+* :mod:`repro.serve.journal` — the write-ahead job journal that makes
+  accepted work crash-durable (replayed by
+  :meth:`SimulationService.recover` on restart).
 * :mod:`repro.serve.http` — a dependency-free HTTP front end
   (``/healthz``, ``/metrics``, ``/submit``, ``/jobs/<id>``,
   ``/events``, ``/stats``).
@@ -37,8 +40,12 @@ Quickstart (see also ``repro-oasis serve --help``)::
     asyncio.run(main())
 """
 
+from repro.serve.journal import JobJournal, JournalError, JournalReplay
 from repro.serve.service import (
+    BREAKER_STATES,
     DEFAULT_BATCH_MAX,
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_MAX_PENDING,
     LANES,
     SERVE_LATENCY_BUCKETS_MS,
@@ -50,10 +57,16 @@ from repro.serve.service import (
 
 __all__ = [
     "AdmissionError",
+    "BREAKER_STATES",
     "DEFAULT_BATCH_MAX",
+    "DEFAULT_BREAKER_COOLDOWN_S",
+    "DEFAULT_BREAKER_THRESHOLD",
     "DEFAULT_MAX_PENDING",
     "Job",
     "JobFailed",
+    "JobJournal",
+    "JournalError",
+    "JournalReplay",
     "LANES",
     "SERVE_LATENCY_BUCKETS_MS",
     "SimulationService",

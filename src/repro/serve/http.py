@@ -258,15 +258,55 @@ class ServeHttpServer:
 
 
 async def run_server(service: SimulationService, host: str,
-                     port: int) -> None:
-    """Blocking entry point used by ``repro-oasis serve``."""
+                     port: int, *,
+                     drain_timeout_s: float | None = None) -> None:
+    """Blocking entry point used by ``repro-oasis serve``.
+
+    ``SIGTERM``/``SIGINT`` trigger a graceful drain: the service
+    refuses new work, finishes what is queued (up to
+    ``drain_timeout_s``), and only then shuts down — with a journal
+    attached, anything still unfinished at the timeout stays live for
+    the next incarnation to recover.
+    """
+    import signal
+
     server = ServeHttpServer(service, host=host, port=port)
     await server.start()
     print(f"repro-oasis serve: listening on http://{server.host}:{server.port}"
           f" (jobs={service.jobs}, max_pending={service.max_pending})")
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    installed: list = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, shutdown.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without signal support
+    serve_task = asyncio.create_task(server.serve_forever())
+    stop_task = asyncio.create_task(shutdown.wait())
     try:
-        await server.serve_forever()
+        done, _ = await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop_task in done:
+            print("repro-oasis serve: draining "
+                  f"({service.stats()['queue_depth']} queued) ...")
+            drained = await service.drain(drain_timeout_s)
+            print(
+                "repro-oasis serve: drained; shutting down" if drained
+                else "repro-oasis serve: drain timed out; unfinished "
+                     "jobs stay journaled for the next start"
+            )
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serve_task, stop_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for sig in installed:
+            loop.remove_signal_handler(sig)
         await server.stop()

@@ -1,0 +1,363 @@
+"""Write-ahead job journal: the serve layer's durable state.
+
+:class:`~repro.serve.service.SimulationService` keeps its queue,
+in-flight set and single-flight table in memory — fast, but a process
+crash would silently lose every accepted job.  The journal closes that
+gap: every job state transition (``accepted`` → ``dispatched`` →
+``done``/``failed``) is appended here *before* the service acts on it,
+so a restarted service can replay the journal and owe exactly the work
+it acknowledged.
+
+Format
+------
+Append-only JSONL **segments** (``journal-00000001.jsonl``, ...) under
+one directory.  Each line is one record::
+
+    {"v": 1, "seq": 17, "kind": "accepted", "data": {...}, "crc": "..."}
+
+``crc`` is a sha256 over the canonical JSON of the record *without* the
+``crc`` field, so a torn or bit-flipped line can never replay as valid
+state.  Appends are flushed and ``fsync``'d before :meth:`JobJournal.append`
+returns (skip with ``REPRO_NO_FSYNC=1`` for test speed) — the service
+acknowledges a job only after its ``accepted`` record is durable, which
+is what makes "no acked job is ever lost" a provable invariant rather
+than a hope.
+
+Rotation and compaction
+-----------------------
+A segment is rotated (fsync + close + fresh file, directory fsync'd so
+the new name is durable) after ``segment_max_records`` appends, keeping
+any single file small enough to scan quickly.  :meth:`JobJournal.compact`
+rewrites the live tail — the records for jobs that have not reached a
+terminal state — into a fresh segment and deletes every older one, so a
+long-running service's journal is bounded by its *live* job count, not
+its lifetime throughput.
+
+Replay
+------
+:meth:`JobJournal.replay` scans segments in order, verifies every
+record, and folds them into a per-job last-state map.  A record that
+fails to parse or checksum is **skipped and counted** (``torn``):
+a torn tail is the expected signature of a crash mid-append, and by the
+append-before-ack protocol it can only ever hold a record whose job was
+never acknowledged.
+
+Chaos hooks
+-----------
+The module-level ``_CHAOS`` hook (installed by
+:class:`repro.chaos.inject.ChaosInjector`) lets the chaos layer inject
+torn appends and I/O errors at exactly this seam; see
+:mod:`repro.chaos`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.harness.diskcache import fsync_dir, fsync_enabled
+
+#: Journal record layout version; bump when the line format changes.
+JOURNAL_VERSION = 1
+
+#: Records per segment before rotation.
+DEFAULT_SEGMENT_MAX_RECORDS = 1024
+
+#: Job state transitions the journal understands, in lifecycle order.
+RECORD_KINDS = ("accepted", "dispatched", "done", "failed")
+
+_SEGMENT_PREFIX = "journal-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+#: Chaos-injection hook (see :mod:`repro.chaos.inject`); None = inert.
+_CHAOS = None
+
+
+class JournalError(RuntimeError):
+    """An append could not be made durable; the caller must not ack."""
+
+
+def _record_crc(record: dict) -> str:
+    """Checksum over the record minus its own ``crc`` field."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    blob = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class JournalReplay:
+    """Folded outcome of one journal scan."""
+
+    #: job_id -> {"kind": last transition, "seq": its seq, "data": merged
+    #: record data (the ``accepted`` payload updated by later records)}.
+    jobs: dict = field(default_factory=dict)
+    #: Valid records seen.
+    records: int = 0
+    #: Records skipped for parse/checksum failure (torn tail, bit rot).
+    torn: int = 0
+    #: Highest valid sequence number (0 = empty journal).
+    last_seq: int = 0
+    #: Segment files scanned.
+    segments: int = 0
+
+    def live_jobs(self) -> dict:
+        """Jobs that never reached a terminal state (``done``/``failed``)."""
+        return {
+            job_id: state
+            for job_id, state in self.jobs.items()
+            if state["kind"] not in ("done", "failed")
+        }
+
+
+class JobJournal:
+    """Append-only, checksummed, segmented write-ahead log of job state."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        segment_max_records: int = DEFAULT_SEGMENT_MAX_RECORDS,
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError("segment_max_records must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_max_records = segment_max_records
+        self._fh = None
+        self._segment_records = 0
+        #: A failed write may have left a partial line on the tail; the
+        #: next append must re-sync to a line boundary first.
+        self._dirty_tail = False
+        self._seq = 0
+        self.appended = 0
+        self.rotations = 0
+        self.compactions = 0
+        self.torn_seen = 0
+        existing = self._segments()
+        self._segment_index = (
+            self._segment_number(existing[-1]) if existing else 0
+        )
+        if existing:
+            # Continue the sequence where the previous incarnation left
+            # off; a fresh scan is cheap because compaction bounds size.
+            replay = self.replay()
+            self._seq = replay.last_seq
+
+    # -- segment bookkeeping -----------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(
+            p for p in self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+            if p.is_file()
+        )
+
+    @staticmethod
+    def _segment_number(path: Path) -> int:
+        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError:
+            return 0
+
+    def _segment_path(self, index: int) -> Path:
+        return self.root / f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+    def _open_segment(self) -> None:
+        self._segment_index += 1
+        path = self._segment_path(self._segment_index)
+        self._fh = open(path, "a", encoding="utf-8")
+        self._segment_records = 0
+        self._dirty_tail = False
+        fsync_dir(self.root)
+
+    def _rotate_if_needed(self) -> None:
+        if self._fh is None:
+            self._open_segment()
+            return
+        if self._segment_records >= self.segment_max_records:
+            self._sync_current()
+            self._fh.close()
+            self._open_segment()
+            self.rotations += 1
+
+    def _sync_current(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if fsync_enabled():
+            os.fsync(self._fh.fileno())
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, kind: str, data: dict) -> int:
+        """Durably append one record; returns its sequence number.
+
+        Raises :class:`JournalError` when the record could not be made
+        durable (I/O error, torn write injected by the chaos layer): the
+        caller must treat the transition as *not having happened* — in
+        particular, the service must not acknowledge a job whose
+        ``accepted`` record failed here.
+        """
+        if kind not in RECORD_KINDS:
+            raise ValueError(
+                f"unknown record kind {kind!r}; known: {RECORD_KINDS}"
+            )
+        self._rotate_if_needed()
+        assert self._fh is not None
+        record = {
+            "v": JOURNAL_VERSION,
+            "seq": self._seq + 1,
+            "kind": kind,
+            "data": data,
+        }
+        record["crc"] = _record_crc(record)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fault = _CHAOS.write_fault("journal", None) if _CHAOS is not None else None
+        try:
+            if self._dirty_tail:
+                # A previous append failed mid-line; a newline isolates
+                # its partial record (replay skips it as torn) so this
+                # record starts on its own line.
+                self._fh.write("\n")
+                self._dirty_tail = False
+            if fault is not None and fault.mode == "oserror":
+                raise OSError("chaos: injected journal write error")
+            if fault is not None and fault.mode == "torn":
+                # Crash mid-append: a prefix of the line reaches the disk
+                # but the caller sees a failure and never acks.  Replay
+                # must skip the torn tail.
+                torn = line[: max(1, int(len(line) * fault.fraction))]
+                self._fh.write(torn)
+                self._fh.flush()
+                raise OSError("chaos: torn journal append")
+            self._fh.write(line)
+            self._sync_current()
+        except OSError as exc:
+            self._dirty_tail = True
+            raise JournalError(f"journal append failed: {exc}") from exc
+        self._seq += 1
+        self._segment_records += 1
+        self.appended += 1
+        return self._seq
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Scan every segment and fold records into per-job last state."""
+        out = JournalReplay()
+        for path in self._segments():
+            out.segments += 1
+            try:
+                with path.open(encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not an object")
+                    if record.get("v") != JOURNAL_VERSION:
+                        raise ValueError("version mismatch")
+                    if record.get("crc") != _record_crc(record):
+                        raise ValueError("checksum mismatch")
+                    kind = record["kind"]
+                    data = record["data"]
+                    seq = int(record["seq"])
+                    job_id = data["job_id"]
+                except (KeyError, TypeError, ValueError):
+                    out.torn += 1
+                    self.torn_seen += 1
+                    continue
+                out.records += 1
+                out.last_seq = max(out.last_seq, seq)
+                state = out.jobs.get(job_id)
+                if state is None:
+                    state = {"kind": kind, "seq": seq, "data": {}}
+                    out.jobs[job_id] = state
+                state["kind"] = kind
+                state["seq"] = seq
+                state["data"].update(data)
+        return out
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, live_records: list[tuple[str, dict]]) -> int:
+        """Rewrite the journal to exactly ``live_records``.
+
+        ``live_records`` is the (kind, data) list for jobs still owed
+        work (usually their ``accepted`` payloads).  The records are
+        written to a *fresh* segment via temp-file + fsync + atomic
+        rename, the directory entry is fsync'd, and only then are the
+        older segments unlinked — a crash at any point leaves either the
+        old journal or the new one, never neither.  Returns the number
+        of segments removed.
+        """
+        old_segments = self._segments()
+        if self._fh is not None:
+            self._sync_current()
+            self._fh.close()
+            self._fh = None
+        self._segment_index += 1
+        target = self._segment_path(self._segment_index)
+        tmp = target.with_suffix(".tmp")
+        seq = self._seq
+        with tmp.open("w", encoding="utf-8") as fh:
+            for kind, data in live_records:
+                seq += 1
+                record = {
+                    "v": JOURNAL_VERSION,
+                    "seq": seq,
+                    "kind": kind,
+                    "data": data,
+                }
+                record["crc"] = _record_crc(record)
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            if fsync_enabled():
+                os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        fsync_dir(self.root)
+        removed = 0
+        for path in old_segments:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        fsync_dir(self.root)
+        self._seq = seq
+        self._segment_records = len(live_records)
+        self._fh = open(target, "a", encoding="utf-8")
+        self.compactions += 1
+        return removed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._sync_current()
+            self._fh.close()
+            self._fh = None
+
+    def stats(self) -> dict:
+        return {
+            "appended": self.appended,
+            "rotations": self.rotations,
+            "compactions": self.compactions,
+            "torn_seen": self.torn_seen,
+            "segments": len(self._segments()),
+            "last_seq": self._seq,
+        }
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -45,9 +45,15 @@ from heapq import heappop, heappush
 from repro import POLICY_FACTORIES, baseline_config
 from repro.config import SystemConfig
 from repro.harness.diskcache import cache_key
-from repro.harness.runner import RunFailure, last_sweep_summary, run_sims_parallel
+from repro.harness.runner import (
+    RunFailure,
+    disk_cache,
+    last_sweep_summary,
+    run_sims_parallel,
+)
 from repro.obs import MetricsRegistry, MetricsSnapshot, RecordingTracer
 from repro.obs.export import prometheus_multi
+from repro.serve.journal import JobJournal, JournalError
 from repro.sim import SimulationResult
 from repro.workloads import APPLICATIONS
 
@@ -75,6 +81,15 @@ SERVE_LATENCY_BUCKETS_MS = (
 #: Per-subscriber event-queue bound; a slow consumer drops events rather
 #: than growing the service's memory.
 EVENT_QUEUE_LIMIT = 1024
+
+#: Consecutive run failures before the worker-pool circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Seconds the breaker stays open before letting one probe batch through.
+DEFAULT_BREAKER_COOLDOWN_S = 5.0
+
+#: Numeric gauge encoding of breaker states (``serve.breaker_state``).
+BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
 
 _MS_PER_NS = 1e-6
 
@@ -208,6 +223,33 @@ class Job:
         return info
 
 
+def _chain_future(job: Job, primary: Job) -> None:
+    """Resolve ``job`` whenever ``primary`` resolves (recovery dedup)."""
+
+    def _copy(done: asyncio.Future) -> None:
+        if job.future.done():
+            return
+        exc = done.exception() if not done.cancelled() else None
+        job.finished_mono = time.monotonic()
+        if done.cancelled():
+            job.status = "failed"
+            job.failure = {"error_type": "Cancelled",
+                           "message": "primary job was cancelled"}
+            job.future.cancel()
+        elif exc is not None:
+            job.status = "failed"
+            job.failure = dict(getattr(exc, "failure", {})) or {
+                "error_type": type(exc).__name__, "message": str(exc),
+            }
+            job.future.set_exception(exc)
+            job.future.exception()
+        else:
+            job.status = "done"
+            job.future.set_result(done.result())
+
+    primary.future.add_done_callback(_copy)
+
+
 class SimulationService:
     """Admission-controlled, single-flight front end over the harness.
 
@@ -222,6 +264,15 @@ class SimulationService:
         run_timeout_s: per-run wall-clock cap applied to every batch in
             addition to job deadlines.
         history_limit: completed jobs retained for status lookups.
+        journal_dir: directory for the write-ahead job journal (see
+            :mod:`repro.serve.journal`).  None (the default) keeps the
+            pre-journal in-memory behavior; with a directory, every job
+            state transition is made durable and :meth:`start` replays
+            any prior journal before accepting new work.
+        breaker_threshold: consecutive run failures before the circuit
+            breaker around the worker pool opens.
+        breaker_cooldown_s: seconds the breaker stays open before a
+            half-open single-job probe batch is allowed through.
 
     Construct and drive it inside one event loop; all queue state is
     loop-confined (no locks), only the simulation batch leaves the loop
@@ -237,6 +288,9 @@ class SimulationService:
         batch_max: int = DEFAULT_BATCH_MAX,
         run_timeout_s: float | None = None,
         history_limit: int = DEFAULT_HISTORY_LIMIT,
+        journal_dir: str | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -244,12 +298,19 @@ class SimulationService:
             raise ValueError("max_pending must be >= 0")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
         self.config = config if config is not None else baseline_config()
         self.jobs = jobs
         self.max_pending = max_pending
         self.batch_max = batch_max
         self.run_timeout_s = run_timeout_s
         self.history_limit = history_limit
+        self.journal = JobJournal(journal_dir) if journal_dir else None
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
 
         self.metrics = MetricsRegistry()
         self.tracer = RecordingTracer()
@@ -265,7 +326,16 @@ class SimulationService:
         self._wakeup: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
         self._running = False
+        self._draining = False
+        self._batch_inflight = False
+        self._batch_future: asyncio.Future | None = None
         self._started_mono: float | None = None
+        #: Circuit breaker around the worker pool.
+        self._breaker_state = "closed"
+        self._consec_failures = 0
+        self._breaker_open_until = 0.0
+        #: Recovery summary of the last :meth:`recover` (stats()).
+        self._recovery: dict | None = None
         #: Simulation counters accumulated across every dispatched batch
         #: (merged from the runner's sweep summaries).
         self._sim_counters: dict[str, float] = {}
@@ -275,12 +345,19 @@ class SimulationService:
     async def start(self, *, dispatch: bool = True) -> None:
         """Begin accepting jobs; with ``dispatch=False`` the queue fills
         but nothing runs until :meth:`resume` (warm-up / deterministic
-        ordering tests)."""
+        ordering tests).
+
+        With a journal attached, any state a previous incarnation left
+        behind is replayed first (see :meth:`recover`), so recovered
+        jobs are already queued when the dispatcher starts.
+        """
         if self._running:
             return
         self._running = True
         self._started_mono = time.monotonic()
         self._wakeup = asyncio.Event()
+        if self.journal is not None:
+            await self.recover()
         if dispatch:
             self.resume()
 
@@ -294,7 +371,14 @@ class SimulationService:
             )
 
     async def stop(self) -> None:
-        """Drain nothing: finish the in-flight batch, fail queued jobs."""
+        """Drain nothing: finish the in-flight batch, fail queued jobs.
+
+        Queued jobs fail for their *current* waiters, but with a journal
+        attached they are deliberately **not** journaled as failed: their
+        ``accepted`` records stay live, so the next :meth:`start` on the
+        same journal re-enqueues them.  A clean shutdown never forfeits
+        acknowledged work.
+        """
         if not self._running:
             return
         self._running = False
@@ -308,8 +392,69 @@ class SimulationService:
             self._finish_failure(job, {
                 "error_type": "ServiceStopped",
                 "message": "service shut down before the job ran",
-            })
+            }, journal=False)
         self._publish_gauges()
+        if self.journal is not None:
+            self.journal.close()
+
+    async def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown: refuse new work, finish queued work, stop.
+
+        Returns True when the queue fully drained inside ``timeout_s``
+        (None = wait indefinitely); on timeout the remaining jobs fail
+        with ``ServiceStopped`` for current waiters but stay live in the
+        journal, exactly like :meth:`stop`.  This is what the serve CLI
+        runs on ``SIGTERM``.
+        """
+        if not self._running:
+            return True
+        self._draining = True
+        self._emit("serve_drain", queued=len(self._heap))
+        assert self._wakeup is not None
+        self._wakeup.set()
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        drained = True
+        while self._heap or self._batch_inflight:
+            if deadline is not None and time.monotonic() >= deadline:
+                drained = False
+                break
+            await asyncio.sleep(0.02)
+        await self.stop()
+        return drained
+
+    async def abandon(self) -> None:
+        """Crash simulation for chaos tests: die without cleanup.
+
+        The dispatcher is cancelled mid-flight, queued jobs are neither
+        failed nor journaled, and no terminal records are written — the
+        closest an in-process service can get to ``kill -9``.  Only the
+        journal's file handle is closed (its records were already
+        fsync'd), so a new service can reopen the directory.
+
+        A batch running in the worker thread when the crash lands is
+        waited out (its jobs still resolve nothing — like a pool whose
+        results nobody collects) so a successor service never races it
+        on the runner's process-global caches.
+        """
+        self._running = False
+        self._draining = False
+        batch = self._batch_future
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if batch is not None:
+            try:
+                await batch
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.journal is not None:
+            self.journal.close()
 
     @property
     def running(self) -> bool:
@@ -318,6 +463,143 @@ class SimulationService:
     def _now_ns(self) -> float:
         base = self._started_mono if self._started_mono is not None else 0.0
         return (time.monotonic() - base) * 1e9
+
+    # -- recovery ----------------------------------------------------------
+
+    async def recover(self) -> dict:
+        """Replay the journal and re-own every job a crash left behind.
+
+        For each journaled job, in acknowledgement order:
+
+        * last record ``failed`` — re-materialized in history with its
+          stored diagnosis (the failure was served before the crash);
+        * any other state (``accepted``/``dispatched``/``done``) — the
+          result cache is consulted by ``cache_key`` first: a hit
+          resolves the job immediately with **zero** re-simulation
+          (``recovered_cached``), a miss re-enqueues it on its original
+          lane (``recovered_requeued``).  Jobs that were ``done`` but
+          whose cache entry was lost are recomputed rather than lost.
+
+        Queue-relative deadlines died with the old process and are
+        dropped.  After classification the journal is compacted down to
+        the still-live jobs.  Returns the recovery summary that
+        :meth:`stats` also exposes.
+        """
+        assert self.journal is not None, "recover() needs a journal"
+        replay = self.journal.replay()
+        disk = disk_cache()
+        loop = asyncio.get_running_loop()
+        summary = {
+            "journal_records": replay.records,
+            "journal_torn": replay.torn,
+            "recovered_cached": 0,
+            "recovered_requeued": 0,
+            "recovered_failed": 0,
+        }
+        live: list[tuple[str, dict]] = []
+        max_id = 0
+        for job_id, state in replay.jobs.items():
+            data = state["data"]
+            try:
+                spec = JobSpec.from_dict(data["spec"])
+                key = data["key"]
+                lane = data.get("lane", DEFAULT_LANE)
+                config = spec.resolve_config(self.config)
+            except (KeyError, TypeError, ValueError):
+                # A record that checksummed but no longer parses as a
+                # spec (schema drift): count it as torn, don't crash
+                # recovery for every other job.
+                summary["journal_torn"] += 1
+                continue
+            try:
+                max_id = max(max_id, int(job_id.rsplit("-", 1)[-1]))
+            except ValueError:
+                pass
+            job = Job(
+                job_id=job_id, spec=spec, config=config, key=key,
+                lane=lane if lane in LANES else DEFAULT_LANE,
+                deadline_s=None, future=loop.create_future(),
+            )
+            if state["kind"] == "failed":
+                job.status = "failed"
+                job.failure = dict(data.get("failure") or {
+                    "error_type": "Unknown",
+                    "message": "failure recorded before crash",
+                })
+                job.future.set_exception(JobFailed(job.failure))
+                job.future.exception()
+                job.finished_mono = time.monotonic()
+                self._jobs[job.id] = job
+                summary["recovered_failed"] += 1
+                continue
+            result = disk.load(key) if disk is not None else None
+            if result is not None:
+                job.status = "done"
+                job.finished_mono = time.monotonic()
+                job.future.set_result(result)
+                self._jobs[job.id] = job
+                summary["recovered_cached"] += 1
+                if state["kind"] != "done":
+                    self._journal_append("done", {
+                        "job_id": job.id, "key": job.key,
+                    })
+                self._emit("serve_recover", job=job.id, key=key,
+                           outcome="cached")
+                continue
+            accepted = {
+                "job_id": job.id, "spec": spec.to_dict(),
+                "key": key, "lane": job.lane,
+            }
+            shared = self._inflight.get(key)
+            if shared is not None:
+                # Two acked jobs with one key (the first completed, the
+                # second was accepted later, then the cache was lost):
+                # chain onto the primary instead of double-simulating.
+                shared.waiters += 1
+                job.status = "queued"
+                _chain_future(job, shared)
+                self._jobs[job.id] = job
+            else:
+                job.status = "queued"
+                self._inflight[key] = job
+                self._jobs[job.id] = job
+                heappush(self._heap, (LANES[job.lane], next(self._seq), job))
+            live.append(("accepted", accepted))
+            summary["recovered_requeued"] += 1
+            self._emit("serve_recover", job=job.id, key=key,
+                       outcome="requeued")
+        # Continue job-id allocation past everything the journal named.
+        self._ids = itertools.count(max_id + 1)
+        self.journal.compact(live)
+        for name in (
+            "recovered_cached", "recovered_requeued", "recovered_failed",
+            "journal_torn",
+        ):
+            self.metrics.inc(f"serve.{name}", float(summary[name]))
+        self._recovery = summary
+        self._publish_gauges()
+        if self._heap:
+            assert self._wakeup is not None
+            self._wakeup.set()
+        return summary
+
+    def _journal_append(self, kind: str, data: dict) -> bool:
+        """Best-effort journal append for non-ack records.
+
+        ``accepted`` records go through the strict path in
+        :meth:`submit` (a failure there refuses the job); transition
+        records here only narrow recovery work, so an append failure is
+        counted and tolerated — replay semantics stay correct with any
+        prefix of the transitions.
+        """
+        if self.journal is None:
+            return True
+        try:
+            self.journal.append(kind, data)
+            return True
+        except JournalError:
+            self.metrics.inc("serve.journal_errors")
+            return False
 
     # -- submission --------------------------------------------------------
 
@@ -334,9 +616,19 @@ class SimulationService:
         the existing job regardless of lane.  A full queue raises
         :class:`AdmissionError` (backpressure), and malformed specs
         raise :class:`ValueError` before touching the queue.
+
+        With a journal attached, the job's ``accepted`` record is made
+        durable *before* this method returns — if the append fails, the
+        job is refused (:class:`AdmissionError`), never half-accepted.
         """
         if not self._running:
             raise RuntimeError("service is not running (call start())")
+        if self._draining:
+            self.metrics.inc("serve.rejected")
+            raise AdmissionError(
+                "service is draining and refuses new work",
+                retry_after_s=5.0,
+            )
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}; known: {sorted(LANES)}")
         if isinstance(spec, dict):
@@ -378,6 +670,23 @@ class SimulationService:
             deadline_s=deadline_s,
             future=asyncio.get_running_loop().create_future(),
         )
+        if self.journal is not None:
+            try:
+                self.journal.append("accepted", {
+                    "job_id": job.id,
+                    "spec": spec.to_dict(),
+                    "key": key,
+                    "lane": lane,
+                    "deadline_s": deadline_s,
+                })
+            except JournalError as exc:
+                # The ack could not be made durable, so there is no ack:
+                # refuse the job and let the client retry.
+                self.metrics.inc("serve.journal_errors")
+                self.metrics.inc("serve.rejected")
+                raise AdmissionError(
+                    f"journal write failed: {exc}", retry_after_s=1.0,
+                ) from exc
         self._inflight[key] = job
         self._remember_job(job)
         heappush(self._heap, (LANES[lane], next(self._seq), job))
@@ -407,13 +716,26 @@ class SimulationService:
                 self._wakeup.clear()
                 await self._wakeup.wait()
                 continue
+            if not self._breaker_admits():
+                # Breaker open: hold dispatch until the cooldown expires,
+                # in small quanta so stop()/drain() stay responsive.
+                remaining = self._breaker_open_until - time.monotonic()
+                await asyncio.sleep(min(0.05, max(0.01, remaining)))
+                continue
+            # A half-open breaker lets exactly one probe job through; its
+            # outcome decides between closing and re-opening.
+            batch_limit = (
+                1 if self._breaker_state == "half_open" else self.batch_max
+            )
             batch: list[Job] = []
             now = time.monotonic()
-            while self._heap and len(batch) < self.batch_max:
+            while self._heap and len(batch) < batch_limit:
                 _, _, job = heappop(self._heap)
                 remaining = job.remaining_s(now)
                 if remaining is not None and remaining <= 0:
                     self.metrics.inc("serve.expired")
+                    # Expiring is a served, terminal outcome — journal it
+                    # so recovery does not resurrect a dead deadline.
                     self._finish_failure(job, {
                         "error_type": "DeadlineExceeded",
                         "message": (
@@ -443,23 +765,35 @@ class SimulationService:
             for job in batch:
                 job.status = "running"
                 self.metrics.inc("serve.dispatched")
+                self._journal_append("dispatched", {
+                    "job_id": job.id, "key": job.key,
+                })
                 self._emit("serve_dispatch", job=job.id, key=job.key,
                            lane=job.lane)
             self.metrics.inc("serve.batches")
             self._publish_gauges()
 
+            self._batch_inflight = True
+            self._batch_future = asyncio.get_running_loop().run_in_executor(
+                None, self._run_batch, requests, batch_timeout
+            )
             try:
-                results, summary = await asyncio.to_thread(
-                    self._run_batch, requests, batch_timeout
-                )
+                results, summary = await self._batch_future
+            except asyncio.CancelledError:
+                # abandon(): a crash writes no terminal records — the
+                # in-flight jobs simply die with the process image.
+                raise
             except BaseException as exc:  # defensive: the pool never raises
                 for job in batch:
                     self._finish_failure(job, {
                         "error_type": type(exc).__name__,
                         "message": str(exc),
-                    })
+                    }, breaker=True)
                 self._publish_gauges()
                 continue
+            finally:
+                self._batch_inflight = False
+                self._batch_future = None
 
             if summary:
                 for name, value in summary.get("counters", {}).items():
@@ -472,7 +806,7 @@ class SimulationService:
                 )
                 for name in (
                     "hits", "misses", "stores", "snapshot_bytes",
-                    "resumed_phases", "corrupt", "prefix_forks",
+                    "resumed_phases", "corrupt", "io_errors", "prefix_forks",
                 ):
                     self.metrics.inc(
                         f"serve.memo_{name}", float(memo.get(name, 0))
@@ -485,12 +819,12 @@ class SimulationService:
                         "error_type": result.error_type,
                         "message": result.message,
                         "attempts": result.attempts,
-                    })
+                    }, breaker=True)
                 else:  # pragma: no cover - the runner returns only those
                     self._finish_failure(job, {
                         "error_type": "InternalError",
                         "message": f"unexpected result {type(result).__name__}",
-                    })
+                    }, breaker=True)
             self._publish_gauges()
 
     def _run_batch(self, requests: list, timeout_s: float | None):
@@ -500,6 +834,39 @@ class SimulationService:
         )
         return results, last_sweep_summary()
 
+    # -- circuit breaker ---------------------------------------------------
+
+    def _breaker_admits(self) -> bool:
+        """May the dispatcher hand work to the pool right now?"""
+        if self._breaker_state != "open":
+            return True
+        if time.monotonic() >= self._breaker_open_until:
+            self._breaker_state = "half_open"
+            self._emit("serve_breaker", state="half_open")
+            self._publish_gauges()
+            return True
+        return False
+
+    def _breaker_note(self, ok: bool) -> None:
+        """Fold one pool-run outcome into the breaker state machine."""
+        if ok:
+            self._consec_failures = 0
+            if self._breaker_state != "closed":
+                self._breaker_state = "closed"
+                self._emit("serve_breaker", state="closed")
+            return
+        self._consec_failures += 1
+        failed_probe = self._breaker_state == "half_open"
+        if failed_probe or self._consec_failures >= self.breaker_threshold:
+            if self._breaker_state != "open":
+                self.metrics.inc("serve.breaker_opens")
+                self._emit("serve_breaker", state="open",
+                           consecutive=self._consec_failures)
+            self._breaker_state = "open"
+            self._breaker_open_until = (
+                time.monotonic() + self.breaker_cooldown_s
+            )
+
     # -- completion --------------------------------------------------------
 
     def _finish_ok(self, job: Job, result: SimulationResult) -> None:
@@ -507,6 +874,8 @@ class SimulationService:
         job.finished_mono = time.monotonic()
         self._inflight.pop(job.key, None)
         self.metrics.inc("serve.completed")
+        self._breaker_note(True)
+        self._journal_append("done", {"job_id": job.id, "key": job.key})
         latency_ms = (job.latency_s or 0.0) * 1e3
         self._latency.observe(latency_ms)
         if not job.future.done():
@@ -514,12 +883,33 @@ class SimulationService:
         self._emit("serve_done", job=job.id, key=job.key,
                    latency_ms=round(latency_ms, 3), waiters=job.waiters)
 
-    def _finish_failure(self, job: Job, failure: dict) -> None:
+    def _finish_failure(self, job: Job, failure: dict, *,
+                        journal: bool = True, breaker: bool = False) -> None:
+        """Fail one job.
+
+        ``journal=False`` (shutdown path) keeps the job's ``accepted``
+        record live so the next incarnation re-owns it; every other
+        failure is terminal and journaled.  ``breaker=True`` marks
+        pool-run outcomes, which are the only failures the circuit
+        breaker should count (deadline expiries and shutdowns say
+        nothing about pool health).
+        """
         job.status = "failed"
         job.finished_mono = time.monotonic()
         job.failure = dict(failure)
         self._inflight.pop(job.key, None)
         self.metrics.inc("serve.failed")
+        if breaker:
+            self._breaker_note(False)
+        if journal:
+            self._journal_append("failed", {
+                "job_id": job.id,
+                "key": job.key,
+                "failure": {
+                    "error_type": failure.get("error_type", "Error"),
+                    "message": failure.get("message", ""),
+                },
+            })
         if not job.future.done():
             job.future.set_exception(JobFailed(failure))
             # A fire-and-forget submission may never await this future;
@@ -566,6 +956,15 @@ class SimulationService:
         self.metrics.set_gauge(
             "serve.subscribers", float(len(self._subscribers))
         )
+        self.metrics.set_gauge(
+            "serve.breaker_state",
+            float(BREAKER_STATES[self._breaker_state]),
+        )
+        if self.journal is not None:
+            self.metrics.set_gauge(
+                "serve.journal_segments",
+                float(self.journal.stats()["segments"]),
+            )
 
     def stats(self) -> dict:
         """The ``/healthz`` payload: liveness plus headline counters."""
@@ -574,8 +973,11 @@ class SimulationService:
             if self._started_mono is not None else 0.0
         )
         counters = self.metrics.stats.as_dict()
-        return {
-            "status": "ok" if self._running else "stopped",
+        info = {
+            "status": (
+                "draining" if self._draining and self._running
+                else "ok" if self._running else "stopped"
+            ),
             "uptime_s": round(uptime, 3),
             "queue_depth": len(self._heap),
             "inflight": len(self._inflight),
@@ -587,7 +989,23 @@ class SimulationService:
             "completed": counters.get("serve.completed", 0.0),
             "failed": counters.get("serve.failed", 0.0),
             "rejected": counters.get("serve.rejected", 0.0),
+            # Slow consumers shed events rather than growing queues; the
+            # drop count is part of liveness, not a hidden metric.
+            "events_dropped": counters.get("serve.events_dropped", 0.0),
+            "breaker": {
+                "state": self._breaker_state,
+                "consecutive_failures": self._consec_failures,
+                "opens": counters.get("serve.breaker_opens", 0.0),
+            },
         }
+        if self.journal is not None:
+            info["journal"] = self.journal.stats()
+            info["journal"]["errors"] = counters.get(
+                "serve.journal_errors", 0.0
+            )
+        if self._recovery is not None:
+            info["recovery"] = dict(self._recovery)
+        return info
 
     def snapshot(self) -> MetricsSnapshot:
         """Service-side metrics (counters, gauges, latency histogram)."""

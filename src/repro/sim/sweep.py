@@ -144,6 +144,7 @@ class PhaseMemo:
         self.snapshot_bytes = 0
         self.resumed_phases = 0
         self.corrupt = 0
+        self.io_errors = 0
         self.lanes = SweepLanes()
 
     # -- sessions ----------------------------------------------------------
@@ -215,7 +216,14 @@ class PhaseMemo:
         self.snapshot_bytes += len(blob)
         self._mem_put(key, blob)
         if self.disk is not None:
-            self.disk.store_blob(key, blob)
+            try:
+                self.disk.store_blob(key, blob)
+            except OSError:
+                # A blob tier that cannot accept writes (disk full,
+                # permission, injected fault) must not kill a simulation
+                # mid-run: the snapshot stays in the memory tier and the
+                # next process pays a cold replay instead.
+                self.io_errors += 1
 
     def _mem_put(self, key: str, blob: bytes) -> None:
         if len(blob) > self.max_bytes:
@@ -255,6 +263,7 @@ class PhaseMemo:
             "snapshot_bytes": self.snapshot_bytes,
             "resumed_phases": self.resumed_phases,
             "corrupt": self.corrupt,
+            "io_errors": self.io_errors,
             "prefix_forks": self.lanes.forks,
             "mem_entries": len(self._mem),
             "mem_bytes": self._mem_bytes,
@@ -271,6 +280,7 @@ class PhaseMemo:
         self.snapshot_bytes = 0
         self.resumed_phases = 0
         self.corrupt = 0
+        self.io_errors = 0
         self.lanes.clear()
 
 

@@ -1,0 +1,119 @@
+"""ChaosPlan construction, serialization and injector determinism."""
+
+import pytest
+
+from repro.chaos import (
+    BlobCorrupt,
+    ChaosInjector,
+    ChaosPlan,
+    ChaosWorkerKill,
+    DispatchDelay,
+    IOFault,
+    TornWrite,
+    WorkerKill,
+)
+
+
+class TestPlan:
+    def test_spec_round_trip(self):
+        plan = ChaosPlan(
+            torn_writes=(TornWrite("result", 3, 0.25),),
+            io_faults=(IOFault("journal", 0, "write"),
+                       IOFault("blob", 2, "read")),
+            blob_corruptions=(BlobCorrupt(1, offset=7),),
+            worker_kills=(WorkerKill(4),),
+            dispatch_delays=(DispatchDelay(0, 0.01),),
+            seed=42,
+        )
+        again = ChaosPlan.from_spec(plan.to_spec())
+        assert again == plan
+        assert again.digest() == plan.digest()
+        assert len(plan.events) == 6
+        assert not plan.empty
+        assert ChaosPlan().empty
+
+    def test_from_spec_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown chaos-plan keys"):
+            ChaosPlan.from_spec({"torn_reads": []})
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            TornWrite("cache", 0)
+        with pytest.raises(ValueError, match="fraction"):
+            TornWrite("result", 0, fraction=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            IOFault("result", -1)
+        with pytest.raises(ValueError, match="read.*write"):
+            IOFault("result", 0, where="append")
+        with pytest.raises(ValueError, match="delay_s"):
+            DispatchDelay(0, delay_s=-0.1)
+
+    def test_random_is_deterministic(self):
+        a = ChaosPlan.random(7, ops_horizon=8)
+        b = ChaosPlan.random(7, ops_horizon=8)
+        assert a == b
+        assert a.digest() == b.digest()
+        assert a != ChaosPlan.random(8, ops_horizon=8)
+        # Every generated event stays inside the horizon.
+        assert all(event.op < 8 for event in a.events)
+        # The generator honors the requested intensity.
+        assert len(a.worker_kills) == 2
+        assert len(a.torn_writes) == 2
+
+
+class TestInjector:
+    def test_ops_are_counted_per_category(self):
+        plan = ChaosPlan(io_faults=(IOFault("result", 1, "write"),))
+        injector = ChaosInjector(plan)
+        assert injector.write_fault("result", None) is None  # op 0
+        fault = injector.write_fault("result", None)  # op 1: armed
+        assert fault is not None and fault.mode == "oserror"
+        # Other categories keep their own counters.
+        assert injector.write_fault("journal", None) is None
+        report = injector.report()
+        assert report["ops"]["result_writes"] == 2
+        assert report["ops"]["journal_writes"] == 1
+        assert report["events_fired"]["io_faults"] == 1
+
+    def test_read_fault_raises_only_at_target(self):
+        plan = ChaosPlan(io_faults=(IOFault("blob", 1, "read"),))
+        injector = ChaosInjector(plan)
+        injector.read_fault("blob", None)  # op 0: clean
+        with pytest.raises(OSError, match="chaos"):
+            injector.read_fault("blob", None)  # op 1
+        injector.read_fault("blob", None)  # op 2: clean again
+
+    def test_worker_kill_is_an_oserror(self):
+        plan = ChaosPlan(worker_kills=(WorkerKill(0),))
+        injector = ChaosInjector(plan)
+        with pytest.raises(ChaosWorkerKill) as err:
+            injector.run_fault("mm", "oasis")
+        assert isinstance(err.value, OSError)  # retryable by the pool
+        injector.run_fault("mm", "oasis")  # op 1: clean
+
+    def test_install_is_exclusive_and_restores(self):
+        from repro.harness import diskcache, runner
+        from repro.serve import journal
+
+        plan = ChaosPlan()
+        with ChaosInjector(plan) as injector:
+            assert diskcache._CHAOS is injector
+            assert journal._CHAOS is injector
+            assert runner._CHAOS is injector
+            with pytest.raises(RuntimeError, match="already installed"):
+                ChaosInjector(plan).install()
+        assert diskcache._CHAOS is None
+        assert journal._CHAOS is None
+        assert runner._CHAOS is None
+
+    def test_report_shape(self):
+        plan = ChaosPlan.random(3, ops_horizon=4)
+        report = ChaosInjector(plan).report()
+        assert report["plan"] == plan.digest()
+        assert report["events_planned"] == len(plan.events)
+        assert set(report["events_fired"]) == {
+            "torn_writes", "io_faults", "blob_corruptions",
+            "worker_kills", "dispatch_delays",
+        }
+        assert report["ops"]["runs"] == 0
+        assert report["ops"]["dispatches"] == 0

@@ -219,6 +219,127 @@ class TestBoundedMemoryCache:
         assert stats["misses"] == 1
 
 
+class TestDurableWrites:
+    def test_store_fsyncs_file_and_directory(self, config, tmp_path,
+                                             monkeypatch):
+        import os as _os
+
+        monkeypatch.delenv("REPRO_NO_FSYNC", raising=False)
+        calls = []
+        real_fsync = _os.fsync
+
+        def counting(fd):
+            calls.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr("repro.harness.diskcache.os.fsync", counting)
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        calls.clear()
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        cache.store(key, result)
+        assert len(calls) >= 2  # the entry's bytes and its directory
+
+    def test_no_fsync_knob_skips_barriers(self, config, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FSYNC", "1")
+
+        def forbidden(fd):
+            raise AssertionError("fsync called with REPRO_NO_FSYNC=1")
+
+        monkeypatch.setattr("repro.harness.diskcache.os.fsync", forbidden)
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        cache.store(key, result)  # atomicity unaffected, barriers skipped
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_interrupted_write_leaves_no_temp_litter(self, config,
+                                                     tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+
+        def refuse(src, dst):
+            raise OSError("device error at rename")
+
+        with monkeypatch.context() as m:
+            m.setattr("repro.harness.diskcache.os.replace", refuse)
+            with pytest.raises(OSError):
+                cache.store(key, result)
+        assert cache.load(key) is None  # nothing at the final path
+        assert not list((tmp_path / "store").rglob(".tmp-*"))
+
+
+class TestChaosHooks:
+    def test_torn_result_write_is_quarantined_on_read(self, config,
+                                                      tmp_path):
+        from repro.chaos import ChaosInjector, ChaosPlan, TornWrite
+
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        plan = ChaosPlan(torn_writes=(TornWrite("result", 0, 0.5),))
+        with ChaosInjector(plan):
+            path = cache.store(key, result)  # caller sees success
+        assert path.exists()  # ...but only a prefix reached the disk
+        assert cache.load(key) is None
+        assert cache.stats()["disk_quarantined"] == 1
+        cache.store(key, result)  # clean rewrite heals the entry
+        assert cache.load(key) is not None
+
+    def test_injected_write_error_propagates(self, config, tmp_path):
+        from repro.chaos import ChaosInjector, ChaosPlan, IOFault
+
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        plan = ChaosPlan(io_faults=(IOFault("result", 0, "write"),))
+        with ChaosInjector(plan):
+            with pytest.raises(OSError, match="chaos"):
+                cache.store(key, result)
+        assert cache.load(key) is None  # nothing at the final path
+
+    def test_runner_tolerates_store_errors(self, config):
+        from repro.chaos import ChaosInjector, ChaosPlan, IOFault
+
+        plan = ChaosPlan(io_faults=(IOFault("result", 0, "write"),))
+        with ChaosInjector(plan):
+            result = run_sim(config, "mm", "on_touch", **SMALL)
+        assert result is not None  # the run itself is unharmed
+        assert cache_stats()["store_errors"] == 1
+        assert cache_stats()["disk_hits"] == 0
+
+    def test_injected_read_error_is_a_soft_miss(self, config, tmp_path):
+        from repro.chaos import ChaosInjector, ChaosPlan, IOFault
+
+        cache = DiskCache(tmp_path / "store")
+        result = run_sim(config, "mm", "on_touch", **SMALL)
+        key = cache_key(config, "mm", "on_touch", 4.0, 0, {})
+        cache.store(key, result)
+        plan = ChaosPlan(io_faults=(IOFault("result", 0, "read"),))
+        with ChaosInjector(plan):
+            assert cache.load(key) is None
+        assert cache.stats()["disk_misses"] == 1
+        # Transient read errors never quarantine the (healthy) entry.
+        assert cache.stats()["disk_quarantined"] == 0
+        assert cache.load(key) is not None
+
+    def test_blob_bit_rot_is_quarantined(self, tmp_path):
+        from repro.chaos import BlobCorrupt, ChaosInjector, ChaosPlan
+
+        cache = DiskCache(tmp_path / "store")
+        key = "a" * 64
+        plan = ChaosPlan(blob_corruptions=(BlobCorrupt(0, offset=5),))
+        with ChaosInjector(plan):
+            cache.store_blob(key, b"snapshot-bytes")
+        assert cache.load_blob(key) is None  # silent rot caught on read
+        assert cache.stats()["snap_misses"] == 1
+        assert cache.stats()["disk_quarantined"] == 1
+
+
 class TestRunSimsParallel:
     def test_matches_serial(self, config):
         requests = [

@@ -1,0 +1,142 @@
+"""JobJournal: durable appends, checksummed replay, rotation, compaction."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosInjector, ChaosPlan, IOFault, TornWrite
+from repro.serve import JobJournal, JournalError
+
+
+def test_append_replay_round_trip(tmp_path):
+    with JobJournal(tmp_path) as journal:
+        journal.append("accepted", {"job_id": "job-1", "key": "k1"})
+        journal.append("dispatched", {"job_id": "job-1", "key": "k1"})
+        journal.append("accepted", {"job_id": "job-2", "key": "k2"})
+        journal.append("done", {"job_id": "job-1", "key": "k1"})
+        replay = journal.replay()
+    assert replay.records == 4
+    assert replay.torn == 0
+    assert replay.last_seq == 4
+    assert replay.jobs["job-1"]["kind"] == "done"
+    assert replay.jobs["job-2"]["kind"] == "accepted"
+    # Later records merge into the accepted payload, never replace it.
+    assert replay.jobs["job-1"]["data"]["key"] == "k1"
+    assert replay.live_jobs().keys() == {"job-2"}
+
+
+def test_unknown_kind_rejected(tmp_path):
+    with JobJournal(tmp_path) as journal:
+        with pytest.raises(ValueError, match="unknown record kind"):
+            journal.append("retried", {"job_id": "job-1"})
+
+
+def test_tampered_record_is_skipped_and_counted(tmp_path):
+    with JobJournal(tmp_path) as journal:
+        journal.append("accepted", {"job_id": "job-1", "key": "k1"})
+        journal.append("accepted", {"job_id": "job-2", "key": "k2"})
+    segment = next(tmp_path.glob("journal-*.jsonl"))
+    lines = segment.read_text().splitlines()
+    record = json.loads(lines[0])
+    record["data"]["key"] = "evil"  # crc now wrong
+    lines[0] = json.dumps(record, sort_keys=True)
+    segment.write_text("\n".join(lines) + "\n")
+    replay = JobJournal(tmp_path).replay()
+    assert replay.torn == 1
+    assert list(replay.jobs) == ["job-2"]
+
+
+def test_torn_tail_is_skipped(tmp_path):
+    with JobJournal(tmp_path) as journal:
+        journal.append("accepted", {"job_id": "job-1", "key": "k1"})
+    segment = next(tmp_path.glob("journal-*.jsonl"))
+    with segment.open("a") as fh:
+        fh.write('{"v": 1, "seq": 2, "kind": "accepted", "da')
+    reopened = JobJournal(tmp_path)
+    replay = reopened.replay()
+    assert replay.records == 1
+    assert replay.torn == 1
+    # The torn tail never held an acked record, so the sequence resumes
+    # from the last *valid* record.
+    assert reopened.append("done", {"job_id": "job-1", "key": "k1"}) == 2
+
+
+def test_rotation_bounds_segment_size(tmp_path):
+    journal = JobJournal(tmp_path, segment_max_records=2)
+    for i in range(5):
+        journal.append("accepted", {"job_id": f"job-{i}", "key": f"k{i}"})
+    journal.close()
+    segments = sorted(tmp_path.glob("journal-*.jsonl"))
+    assert len(segments) == 3
+    assert journal.stats()["rotations"] == 2
+    assert all(
+        len(p.read_text().splitlines()) <= 2 for p in segments
+    )
+    replay = JobJournal(tmp_path).replay()
+    assert replay.records == 5
+
+
+def test_compaction_keeps_only_live_records(tmp_path):
+    journal = JobJournal(tmp_path, segment_max_records=2)
+    for i in range(6):
+        journal.append("accepted", {"job_id": f"job-{i}", "key": f"k{i}"})
+        if i < 4:
+            journal.append("done", {"job_id": f"job-{i}", "key": f"k{i}"})
+    live = [
+        ("accepted", {"job_id": "job-4", "key": "k4"}),
+        ("accepted", {"job_id": "job-5", "key": "k5"}),
+    ]
+    removed = journal.compact(live)
+    assert removed >= 1
+    assert len(list(tmp_path.glob("journal-*.jsonl"))) == 1
+    replay = journal.replay()
+    assert set(replay.jobs) == {"job-4", "job-5"}
+    # The compacted journal still accepts appends.
+    journal.append("done", {"job_id": "job-4", "key": "k4"})
+    journal.close()
+    assert JobJournal(tmp_path).replay().jobs["job-4"]["kind"] == "done"
+
+
+def test_reopen_continues_sequence(tmp_path):
+    with JobJournal(tmp_path) as journal:
+        first = journal.append("accepted", {"job_id": "job-1", "key": "k"})
+    with JobJournal(tmp_path) as journal:
+        second = journal.append("done", {"job_id": "job-1", "key": "k"})
+    assert (first, second) == (1, 2)
+
+
+def test_no_fsync_knob(tmp_path, monkeypatch):
+    from repro.harness.diskcache import fsync_enabled
+
+    monkeypatch.delenv("REPRO_NO_FSYNC", raising=False)
+    assert fsync_enabled()
+    monkeypatch.setenv("REPRO_NO_FSYNC", "0")
+    assert fsync_enabled()
+    monkeypatch.setenv("REPRO_NO_FSYNC", "1")
+    assert not fsync_enabled()
+    with JobJournal(tmp_path) as journal:  # appends still work
+        journal.append("accepted", {"job_id": "job-1", "key": "k"})
+
+
+class TestChaosAppends:
+    def test_injected_io_error_raises_journal_error(self, tmp_path):
+        plan = ChaosPlan(io_faults=(IOFault("journal", 0, "write"),))
+        with JobJournal(tmp_path) as journal, ChaosInjector(plan):
+            with pytest.raises(JournalError):
+                journal.append("accepted", {"job_id": "job-1", "key": "k"})
+            # The next append (op 1, unfaulted) succeeds at seq 1: the
+            # failed append never consumed a sequence number.
+            assert journal.append(
+                "accepted", {"job_id": "job-2", "key": "k2"}
+            ) == 1
+
+    def test_torn_append_raises_and_replay_skips_prefix(self, tmp_path):
+        plan = ChaosPlan(torn_writes=(TornWrite("journal", 0, 0.4),))
+        with JobJournal(tmp_path) as journal, ChaosInjector(plan):
+            with pytest.raises(JournalError, match="torn"):
+                journal.append("accepted", {"job_id": "job-1", "key": "k"})
+            journal.append("accepted", {"job_id": "job-2", "key": "k2"})
+        replay = JobJournal(tmp_path).replay()
+        # The torn prefix is on disk but can never replay as state.
+        assert replay.torn == 1
+        assert list(replay.jobs) == ["job-2"]

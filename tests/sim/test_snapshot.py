@@ -122,6 +122,35 @@ def test_corrupt_snapshot_quarantined_and_cold_fallback(config, tmp_path):
     assert entry_for(third) == cold
 
 
+def test_blob_write_errors_degrade_to_memory_tier(config, tmp_path):
+    """OSError mid-write in the blob tier never kills a simulation.
+
+    The snapshot stays in the memory tier (counted in ``io_errors``),
+    the run completes bit-identically, and a warm run still resumes.
+    """
+    app, policy = "c2d", "oasis"
+    trace = get_workload(app, config, seed=0)
+    cold = entry_for(simulate(config, trace, make_policy(policy)))
+
+    class FullDisk(DiskCache):
+        def store_blob(self, key, blob):
+            raise OSError("no space left on device")
+
+    memo = PhaseMemo(disk=FullDisk(tmp_path / "memo"))
+    first = _run(config, trace, app, policy, memo)
+    assert entry_for(first) == cold
+    assert memo.stores > 0
+    assert memo.io_errors == memo.stores  # every disk write failed
+    assert memo.stats()["io_errors"] == memo.io_errors
+    assert not list((tmp_path / "memo").rglob("*.json"))
+    # The snapshots survived in the memory tier: still a warm resume.
+    warm = _run(config, trace, app, policy, memo)
+    assert memo.hits == 1
+    assert entry_for(warm) == cold
+    memo.clear()
+    assert memo.io_errors == 0
+
+
 def test_snapshot_boundaries_striding():
     assert snapshot_boundaries(0) == ()
     assert snapshot_boundaries(1) == ()
