@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
-	verify-serve verify-sim verify-memo verify-chaos golden-update
+	verify-serve verify-sim verify-memo verify-chaos verify-cluster \
+	golden-update
 
 test:
 	$(PYTHON) -m pytest -q
@@ -52,8 +53,18 @@ verify-chaos:
 	REPRO_NO_FSYNC=1 $(PYTHON) -m repro.cli chaos --cycles 3 --seed 0 --apps mm --policies oasis,on_touch
 	REPRO_NO_FSYNC=1 $(PYTHON) benchmarks/bench_recovery.py --smoke
 
+# Cluster verification: the ring/store/router/integration suites, then
+# the cluster bench smoke — 2 real worker subprocesses behind the
+# consistent-hash router, asserting one simulation per identical burst
+# cluster-wide, single-node dedup parity on the Zipf mix, and a
+# SIGKILL-mid-burst journal steal that loses zero acked jobs (served
+# results pinned against the goldens).
+verify-cluster:
+	$(PYTHON) -m pytest tests/cluster -q
+	REPRO_NO_FSYNC=1 $(PYTHON) benchmarks/bench_cluster.py --smoke --chaos
+
 verify: verify-faults verify-obs verify-serve verify-sim verify-memo \
-	verify-chaos
+	verify-chaos verify-cluster
 
 # Re-pin tests/golden/golden.json after an intentional model change;
 # commit the file so the review diff names every counter that moved.

@@ -23,6 +23,7 @@ Quickstart (see also ``repro-oasis chaos --help``)::
     print(injector.report())
 """
 
+from repro.chaos.cluster import ClusterChaos
 from repro.chaos.inject import ChaosInjector, ChaosWorkerKill, WriteFault
 from repro.chaos.plan import (
     CATEGORIES,
@@ -41,6 +42,7 @@ __all__ = [
     "ChaosInjector",
     "ChaosPlan",
     "ChaosWorkerKill",
+    "ClusterChaos",
     "DispatchDelay",
     "IOFault",
     "TornWrite",

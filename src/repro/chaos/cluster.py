@@ -1,0 +1,99 @@
+"""Cluster-level chaos: route a plan's worker kills through the router.
+
+The in-process :class:`~repro.chaos.inject.ChaosInjector` simulates a
+worker death by raising inside the pool.  At cluster scope the failure
+is more honest: :class:`ClusterChaos` installs itself as the router's
+``_CHAOS`` hook and, on the ``op``-th *forward* (in router forwarding
+order, deterministic for a deterministic request sequence), kills the
+very worker subprocess the request was just routed to — after the
+worker has journaled whatever it already acknowledged.  What follows
+is the real recovery path: the router's heartbeat declares the worker
+dead, steals its journal, re-homes the live jobs, and the cluster's
+"no acked job is lost" invariant gets exercised end to end.
+
+The kill callback is supplied by the caller (normally
+:meth:`repro.cluster.supervisor.LocalCluster.kill_worker`), so the same
+plan type drives both the bench and the ``make verify-cluster`` smoke.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.chaos.plan import ChaosPlan
+
+_HOOKED_MODULES = ("repro.cluster.router",)
+
+
+class ClusterChaos:
+    """Arm a :class:`ChaosPlan`'s worker kills at the router's forward seam.
+
+    Args:
+        plan: the (frozen, seeded) chaos plan; only its ``worker_kills``
+            events are meaningful here — each names the forward
+            operation index at which the routed-to worker dies.
+        kill: callback invoked with the worker *name* to kill.
+
+    Use as a context manager; :attr:`fired` maps worker names to kill
+    counts afterwards.
+    """
+
+    def __init__(self, plan: ChaosPlan, kill) -> None:
+        self.plan = plan
+        self._kill = kill
+        self._lock = threading.Lock()
+        self._forwards = 0
+        self._kill_ops = {k.op for k in plan.worker_kills}
+        self.fired: dict[str, int] = {}
+        self._installed = False
+
+    # -- hook surface (called by the router) -------------------------------
+
+    def on_forward(self, key: str, worker: str) -> None:
+        """One forward is about to leave the router for ``worker``."""
+        with self._lock:
+            op = self._forwards
+            self._forwards += 1
+            fire = op in self._kill_ops
+            if fire:
+                self.fired[worker] = self.fired.get(worker, 0) + 1
+        if fire:
+            self._kill(worker)
+
+    # -- install / uninstall -----------------------------------------------
+
+    def install(self) -> "ClusterChaos":
+        if self._installed:
+            return self
+        for module_name in _HOOKED_MODULES:
+            module = __import__(module_name, fromlist=["_CHAOS"])
+            if module._CHAOS is not None:
+                raise RuntimeError(
+                    f"{module_name} already has a chaos hook installed"
+                )
+            module._CHAOS = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for module_name in _HOOKED_MODULES:
+            module = __import__(module_name, fromlist=["_CHAOS"])
+            if module._CHAOS is self:
+                module._CHAOS = None
+        self._installed = False
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                "forwards_seen": self._forwards,
+                "kills_planned": len(self._kill_ops),
+                "kills_fired": dict(self.fired),
+            }
+
+    def __enter__(self) -> "ClusterChaos":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()

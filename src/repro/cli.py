@@ -20,6 +20,9 @@ Subcommands:
 * ``serve`` — run the single-flight simulation service (asyncio job
   queue with admission control, priority lanes and deduplication) with
   ``/healthz`` + ``/metrics`` HTTP endpoints.
+* ``cluster --workers N`` — run a consistent-hash router in front of N
+  ``serve`` worker subprocesses sharing one result store (heartbeat,
+  job stealing, lane-aware load shedding).
 * ``submit APP`` — submit one run to a running ``serve`` instance and
   print the result.
 
@@ -492,6 +495,7 @@ def cmd_serve(args) -> int:
     configure(
         jobs=args.jobs or 1,
         disk_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
     service = SimulationService(
         jobs=args.jobs or 1,
@@ -499,15 +503,39 @@ def cmd_serve(args) -> int:
         batch_max=args.batch_max,
         run_timeout_s=args.run_timeout_s,
         journal_dir=args.journal_dir,
+        name=args.worker_name,
     )
     try:
         asyncio.run(run_server(
             service, args.host, args.port,
             drain_timeout_s=args.drain_timeout_s,
+            ready_file=args.ready_file,
+            register_url=args.register,
+            worker_name=args.worker_name,
         ))
     except KeyboardInterrupt:
         print("\nrepro-oasis serve: shut down")
     return 0
+
+
+def cmd_cluster(args) -> int:
+    """Run a router plus N serve worker subprocesses until interrupted."""
+    import os
+
+    from repro.cluster import LocalCluster, run_cluster_forever
+
+    if args.no_fsync:
+        os.environ["REPRO_NO_FSYNC"] = "1"
+    cluster = LocalCluster(
+        workers=args.workers,
+        state_dir=args.state_dir,
+        host=args.host,
+        router_port=args.port,
+        jobs=args.jobs or 1,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+    )
+    return run_cluster_forever(cluster)
 
 
 def cmd_chaos(args) -> int:
@@ -811,7 +839,45 @@ def build_parser() -> argparse.ArgumentParser:
                      dest="drain_timeout_s",
                      help="max seconds a SIGTERM drain waits for queued "
                           "jobs before stopping (default: no limit)")
+    srv.add_argument("--cache-dir", default=None, dest="cache_dir",
+                     help="result cache directory (cluster workers point "
+                          "this at the shared tier)")
+    srv.add_argument("--ready-file", default=None, dest="ready_file",
+                     help="write {url, pid, name} JSON here once the "
+                          "port is bound (used by the cluster supervisor)")
+    srv.add_argument("--register", default=None,
+                     help="cluster router URL to announce this worker to "
+                          "(POST /register)")
+    srv.add_argument("--worker-name", default=None, dest="worker_name",
+                     help="stable worker identity on the cluster ring")
     srv.set_defaults(func=cmd_serve)
+
+    clu = sub.add_parser(
+        "cluster",
+        help="run a consistent-hash router plus N serve workers "
+             "(shared result store, heartbeat, job stealing)",
+    )
+    clu.add_argument("--workers", type=int, default=4,
+                     help="serve worker subprocesses (default 4)")
+    clu.add_argument("--host", default="127.0.0.1")
+    clu.add_argument("--port", type=int, default=8400,
+                     help="router TCP port (0 = ephemeral; default 8400)")
+    clu.add_argument("--jobs", type=int, default=None,
+                     help="worker processes per dispatched batch, per "
+                          "serve worker")
+    clu.add_argument("--max-pending", type=int, default=256,
+                     dest="max_pending",
+                     help="per-worker admission bound on queued jobs")
+    clu.add_argument("--max-inflight", type=int, default=128,
+                     dest="max_inflight",
+                     help="router cap on concurrently forwarded requests "
+                          "(lane shedding fractions apply under it)")
+    clu.add_argument("--state-dir", default=None, dest="state_dir",
+                     help="directory for the shared cache, per-worker "
+                          "journals and logs (default: a fresh temp dir)")
+    clu.add_argument("--no-fsync", action="store_true", dest="no_fsync",
+                     help="skip fsync barriers for speed (benchmarks)")
+    clu.set_defaults(func=cmd_cluster)
 
     chs = sub.add_parser(
         "chaos",

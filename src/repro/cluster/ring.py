@@ -1,0 +1,134 @@
+"""Consistent-hash ring with virtual nodes.
+
+The cluster router places every request on a worker by hashing its
+:func:`repro.harness.diskcache.cache_key` onto a ring of virtual nodes
+(``vnodes`` points per worker).  Identical requests therefore always
+land on the same worker — which is what keeps the PR-5 single-flight
+dedup effective cluster-wide — and when a worker joins or leaves, only
+the keys in the arcs it owned move (expected ``1/N`` of the keyspace,
+bounded well under ``2/N``), so a membership change never reshuffles
+the whole cluster's in-flight affinity.
+
+Determinism is load-bearing: placement is derived from SHA-256 over
+stable strings, never from Python's salted ``hash()``, so two router
+processes (or a router and a test in another interpreter) always agree
+on who owns a key.  :meth:`HashRing.owner` is ``O(log(N * vnodes))``
+via bisection.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual nodes per worker.  More vnodes smooth the load spread at the
+#: cost of a larger (still tiny) ring table.
+DEFAULT_VNODES = 128
+
+
+class EmptyRingError(RuntimeError):
+    """A lookup was attempted against a ring with no nodes."""
+
+
+def ring_hash(data: str) -> int:
+    """Stable 64-bit ring position of a string (PYTHONHASHSEED-proof)."""
+    digest = hashlib.sha256(data.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes."""
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s virtual points; idempotent."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = ring_hash(f"{node}#{i}")
+            at = bisect.bisect_left(self._points, point)
+            # SHA-256 collisions between distinct vnode labels are not a
+            # practical concern, but keep insertion deterministic anyway:
+            # on an equal point, order by owner name.
+            while (at < len(self._points) and self._points[at] == point
+                   and self._owners[at] < node):
+                at += 1
+            self._points.insert(at, point)
+            self._owners.insert(at, node)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``'s virtual points; idempotent."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (p, o) for p, o in zip(self._points, self._owners) if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- placement ---------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise EmptyRingError("hash ring has no nodes")
+        at = bisect.bisect_right(self._points, ring_hash(key))
+        if at == len(self._points):
+            at = 0
+        return self._owners[at]
+
+    def lookup(self, key: str, n: int = 1) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise of ``key``'s hash.
+
+        Entry 0 is :meth:`owner`; the rest are the natural failover
+        order a router walks when owners die.
+        """
+        if not self._points:
+            raise EmptyRingError("hash ring has no nodes")
+        found: list[str] = []
+        start = bisect.bisect_right(self._points, ring_hash(key))
+        for offset in range(len(self._points)):
+            node = self._owners[(start + offset) % len(self._points)]
+            if node not in found:
+                found.append(node)
+                if len(found) >= n:
+                    break
+        return found
+
+    def spread(self, keys) -> dict[str, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """JSON view for the router's ``/healthz``."""
+        return {
+            "nodes": list(self.nodes),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

@@ -80,6 +80,17 @@ EVENT_KINDS = frozenset(
         "serve_recover",  # journaled job re-owned after a restart
         "serve_drain",  # graceful shutdown began refusing new work
         "serve_breaker",  # worker-pool circuit breaker changed state
+        # Cluster router lifecycle (cluster track; wall-clock ns
+        # relative to router start — see :mod:`repro.cluster`).
+        "cluster_register",  # worker joined (or rejoined) the ring
+        "cluster_forward",  # request routed to its ring owner
+        "cluster_dedup",  # identical request attached to an in-flight forward
+        "cluster_cache_hit",  # served straight from the shared result tier
+        "cluster_shed",  # lane-aware load shedding refused a request
+        "cluster_worker_dead",  # heartbeat/forward declared a worker dead
+        "cluster_steal",  # one live job re-homed from a dead worker
+        "cluster_steal_done",  # a dead worker's journal fully processed
+        "cluster_steal_error",  # journal replay/compaction failed
     }
 )
 

@@ -17,6 +17,7 @@ tell a served result from a local :func:`repro.harness.run_sim` call.
 from __future__ import annotations
 
 import json
+import time
 from http.client import HTTPConnection
 from typing import Iterator
 
@@ -34,12 +35,40 @@ class ClientError(RuntimeError):
 
 
 class ServerBusy(ClientError):
-    """The service applied backpressure (HTTP 429)."""
+    """The service applied backpressure (HTTP 429 or 503).
+
+    ``retry_after_s`` carries the server's ``Retry-After`` hint
+    end-to-end — including when the response was forwarded through the
+    cluster router — so callers can back off by exactly what the
+    overloaded hop asked for instead of guessing.
+    """
 
     def __init__(self, status: int, message: str, retry_after_s: float,
                  payload: dict | None = None) -> None:
         super().__init__(status, message, payload)
         self.retry_after_s = retry_after_s
+
+
+def call_with_retry(fn, *, attempts: int = 4, max_sleep_s: float = 5.0,
+                    sleep=time.sleep):
+    """Call ``fn`` with bounded retries on :class:`ServerBusy`.
+
+    Honors each rejection's ``retry_after_s`` hint (clamped to
+    ``max_sleep_s``); after ``attempts`` total calls the last
+    :class:`ServerBusy` propagates so the caller still sees the
+    (preserved) hint.  Other exceptions propagate immediately — a
+    failed *job* is not a reason to resubmit it.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except ServerBusy as busy:
+            if attempt == attempts - 1:
+                raise
+            sleep(min(max(busy.retry_after_s, 0.0), max_sleep_s))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class JobFailedError(ClientError):
@@ -93,7 +122,11 @@ class ServeClient:
             payload = json.loads(data.decode() or "{}")
         except json.JSONDecodeError:
             payload = {"error": data.decode(errors="replace")}
-        if status == 429:
+        if status in (429, 503):
+            # 429: the service's own admission control; 503: an
+            # intermediary (e.g. the cluster router) shedding on a
+            # worker's behalf.  Either way the Retry-After header is
+            # the authoritative hint and must survive the hop.
             raise ServerBusy(
                 status,
                 payload.get("error", "server busy"),
@@ -150,6 +183,20 @@ class ServeClient:
             "wait": True,
         })
         return SimulationResult.from_dict(payload["result"])
+
+    def post(self, path: str, payload: dict) -> dict:
+        """POST an arbitrary JSON payload (router forwarding, /register)."""
+        return self._json("POST", path, payload)
+
+    def submit_with_retry(self, app: str, policy: str, *, attempts: int = 4,
+                          max_sleep_s: float = 5.0, **kwargs
+                          ) -> SimulationResult:
+        """:meth:`submit`, retrying busy rejections via their
+        ``Retry-After`` hints (see :func:`call_with_retry`)."""
+        return call_with_retry(
+            lambda: self.submit(app, policy, **kwargs),
+            attempts=attempts, max_sleep_s=max_sleep_s,
+        )
 
     def submit_nowait(self, app: str, policy: str, *,
                       footprint_mb: float | None = None, seed: int = 0,

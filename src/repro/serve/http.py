@@ -29,6 +29,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
+import time
+from pathlib import Path
 
 from repro.serve.service import AdmissionError, JobFailed, SimulationService
 
@@ -257,9 +260,38 @@ class ServeHttpServer:
             self.service.unsubscribe(queue)
 
 
+def _register_with_router(register_url: str, name: str, url: str,
+                          journal_dir: str | None,
+                          attempts: int = 60) -> bool:
+    """Announce this worker to a cluster router, retrying while the
+    router is still coming up.  Runs in a daemon thread so a dead
+    router can never wedge worker startup."""
+    from urllib.parse import urlparse
+
+    from repro.serve.client import ClientError, ServeClient
+
+    parsed = urlparse(register_url)
+    client = ServeClient(parsed.hostname or "127.0.0.1",
+                         parsed.port or 80, timeout_s=5.0)
+    for attempt in range(attempts):
+        try:
+            client.post("/register", {
+                "name": name, "url": url, "journal_dir": journal_dir,
+            })
+            return True
+        except ClientError:
+            return False  # the router answered and refused: do not spin
+        except OSError:
+            time.sleep(min(0.05 * (attempt + 1), 1.0))
+    return False
+
+
 async def run_server(service: SimulationService, host: str,
                      port: int, *,
-                     drain_timeout_s: float | None = None) -> None:
+                     drain_timeout_s: float | None = None,
+                     ready_file: str | None = None,
+                     register_url: str | None = None,
+                     worker_name: str | None = None) -> None:
     """Blocking entry point used by ``repro-oasis serve``.
 
     ``SIGTERM``/``SIGINT`` trigger a graceful drain: the service
@@ -267,13 +299,38 @@ async def run_server(service: SimulationService, host: str,
     ``drain_timeout_s``), and only then shuts down — with a journal
     attached, anything still unfinished at the timeout stays live for
     the next incarnation to recover.
+
+    Cluster-worker extras (used by ``repro-oasis cluster``):
+    ``ready_file`` gets a JSON ``{"url", "pid", "name"}`` written once
+    the listening port is known (the supervisor polls it), and
+    ``register_url`` names a router whose ``POST /register`` this
+    worker announces itself to — with its journal directory, so the
+    router can steal live jobs if this worker dies.
     """
+    import os
     import signal
 
     server = ServeHttpServer(service, host=host, port=port)
     await server.start()
-    print(f"repro-oasis serve: listening on http://{server.host}:{server.port}"
+    url = f"http://{server.host}:{server.port}"
+    print(f"repro-oasis serve: listening on {url}"
           f" (jobs={service.jobs}, max_pending={service.max_pending})")
+    name = worker_name or service.name or f"worker-{os.getpid()}"
+    journal_dir = (
+        str(service.journal.root) if service.journal is not None else None
+    )
+    if ready_file:
+        Path(ready_file).write_text(json.dumps({
+            "url": url, "pid": os.getpid(), "name": name,
+        }))
+    register_thread = None
+    if register_url:
+        register_thread = threading.Thread(
+            target=_register_with_router,
+            args=(register_url, name, url, journal_dir),
+            name=f"repro-register-{name}", daemon=True,
+        )
+        register_thread.start()
     loop = asyncio.get_running_loop()
     shutdown = asyncio.Event()
     installed: list = []

@@ -273,6 +273,8 @@ class SimulationService:
             breaker around the worker pool opens.
         breaker_cooldown_s: seconds the breaker stays open before a
             half-open single-job probe batch is allowed through.
+        name: optional worker identity reported in ``/healthz``; the
+            cluster router uses it to match health to ring members.
 
     Construct and drive it inside one event loop; all queue state is
     loop-confined (no locks), only the simulation batch leaves the loop
@@ -291,6 +293,7 @@ class SimulationService:
         journal_dir: str | None = None,
         breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
         breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+        name: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -311,6 +314,9 @@ class SimulationService:
         self.journal = JobJournal(journal_dir) if journal_dir else None
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
+        #: Optional worker identity, surfaced in ``/healthz`` so the
+        #: cluster router can match health reports to ring members.
+        self.name = name
 
         self.metrics = MetricsRegistry()
         self.tracer = RecordingTracer()
@@ -966,6 +972,22 @@ class SimulationService:
                 float(self.journal.stats()["segments"]),
             )
 
+    def oldest_unresolved_age_s(self) -> float | None:
+        """Age of the oldest job still queued or running (None = none).
+
+        The cluster health checker reads this from ``/healthz``: a
+        worker whose oldest unresolved job keeps aging while its queue
+        stays non-empty is wedged, even if its HTTP front end still
+        answers.
+        """
+        now = time.monotonic()
+        ages = [
+            now - job.submitted_mono
+            for job in self._jobs.values()
+            if job.status in ("queued", "running")
+        ]
+        return round(max(ages), 3) if ages else None
+
     def stats(self) -> dict:
         """The ``/healthz`` payload: liveness plus headline counters."""
         uptime = (
@@ -978,7 +1000,16 @@ class SimulationService:
                 "draining" if self._draining and self._running
                 else "ok" if self._running else "stopped"
             ),
+            "worker": self.name,
             "uptime_s": round(uptime, 3),
+            # Wedge detection for cluster health checks: segment count
+            # growing without bound or an ever-aging unresolved job are
+            # both visible straight off /healthz.
+            "journal_segments": (
+                self.journal.stats()["segments"]
+                if self.journal is not None else 0
+            ),
+            "oldest_unresolved_age_s": self.oldest_unresolved_age_s(),
             "queue_depth": len(self._heap),
             "inflight": len(self._inflight),
             "max_pending": self.max_pending,

@@ -1,0 +1,181 @@
+"""Fixtures for the cluster suite.
+
+Two tiers of realism:
+
+* **Stub workers** (`StubWorker`): a stdlib ``ThreadingHTTPServer``
+  that speaks just enough of the serve protocol (``/submit``,
+  ``/healthz``) to exercise the router's routing, shedding, failover
+  and steal logic fast — no simulations, no subprocesses.  Responses
+  reuse one real :class:`SimulationResult` computed once per session.
+* **Real clusters**: the integration tests spawn a
+  :class:`~repro.cluster.supervisor.LocalCluster` with genuine
+  ``repro-oasis serve`` subprocesses (their own fixture, in the test
+  module).
+
+``REPRO_NO_FSYNC=1`` keeps journal/cache writes fast; every test runs
+with the in-process runner caches cold so simulation counts are exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.cluster.router import ClusterRouter, RouterHttpServer
+from repro.harness import clear_cache, configure, run_sim
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FSYNC", "1")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0")
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+    yield
+    configure(jobs=1, disk_cache=False)
+    clear_cache()
+
+
+@pytest.fixture(scope="session")
+def canned_result():
+    """One real result every stub response can reuse."""
+    from repro import baseline_config
+
+    return run_sim(baseline_config(), "mm", "on_touch", footprint_mb=4.0)
+
+
+class StubWorker:
+    """A serve-protocol stub: records submissions, scripted responses.
+
+    Modes:
+      * ``"ok"`` — 200/202 with the canned result.
+      * ``"busy"`` — 429 with a fixed ``Retry-After``.
+      * ``"slow"`` — block each /submit on :attr:`release` first.
+    """
+
+    def __init__(self, result_dict: dict, *, mode: str = "ok",
+                 retry_after_s: float = 7.5) -> None:
+        self.result_dict = result_dict
+        self.mode = mode
+        self.retry_after_s = retry_after_s
+        self.release = threading.Event()
+        self.submissions: list[dict] = []
+        self._lock = threading.Lock()
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:
+                pass
+
+            def _reply(self, status: int, payload: dict,
+                       headers: dict | None = None) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                if self.path == "/healthz":
+                    self._reply(200, {
+                        "status": "ok", "queue_depth": 0,
+                        "oldest_unresolved_age_s": None,
+                        "journal_segments": 0,
+                    })
+                else:
+                    self._reply(404, {"error": "no route"})
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length", 0) or 0)
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if self.path != "/submit":
+                    self._reply(404, {"error": "no route"})
+                    return
+                if stub.mode == "busy":
+                    self._reply(429, {"error": "stub busy"}, {
+                        "Retry-After": f"{stub.retry_after_s:g}",
+                    })
+                    return
+                if stub.mode == "slow":
+                    stub.release.wait(timeout=30)
+                with stub._lock:
+                    stub.submissions.append(payload)
+                wait = payload.get("wait", True)
+                job = {"id": f"stub-{len(stub.submissions)}",
+                       "status": "done" if wait else "queued",
+                       "lane": payload.get("lane", "batch")}
+                if wait:
+                    self._reply(200, {
+                        "job": job, "result": stub.result_dict,
+                    })
+                else:
+                    self._reply(202, {"job": job})
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        self.port = self._server.server_port
+        self.url = f"http://127.0.0.1:{self.port}"
+
+    @property
+    def submitted_keys(self) -> list[str]:
+        with self._lock:
+            return [
+                (s.get("app"), s.get("policy"), s.get("footprint_mb"),
+                 s.get("seed")) for s in self.submissions
+            ]
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self.submissions)
+
+    def close(self) -> None:
+        self.release.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+
+class RouterThread:
+    """A live router + HTTP front end on a background event loop."""
+
+    def __init__(self, tmp_path, **router_kwargs) -> None:
+        router_kwargs.setdefault("store_dir", tmp_path / "cache")
+        router_kwargs.setdefault("heartbeat_interval_s", 0.05)
+        router_kwargs.setdefault("heartbeat_miss_limit", 2)
+        router_kwargs.setdefault("busy_retries", 1)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="cluster-test-loop",
+            daemon=True,
+        )
+        self.thread.start()
+        self.router = ClusterRouter(**router_kwargs)
+        self.server = RouterHttpServer(self.router, port=0)
+        self.run(self.server.start())
+        self.port = self.server.port
+
+    def run(self, coro, timeout: float = 60.0):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def register(self, name: str, url: str,
+                 journal_dir: str | None = None) -> None:
+        self.run(_call_soon(self.router.register, name, url, journal_dir))
+
+    def close(self) -> None:
+        self.run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+
+
+async def _call_soon(fn, *args):
+    return fn(*args)

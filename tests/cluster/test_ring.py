@@ -1,0 +1,164 @@
+"""Consistent-hash ring properties the cluster depends on.
+
+The satellite coverage ISSUE 8 asks for: deterministic placement
+across processes (different ``PYTHONHASHSEED``), minimal remapping on
+join/leave (< 2/N of keys move), and dedup-preserving routing under
+the seeded Zipf traffic mix the serve bench uses.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import baseline_config
+from repro.cluster.ring import EmptyRingError, HashRing, ring_hash
+from repro.harness.diskcache import cache_key
+
+KEYS = [f"key-{i:04d}" for i in range(2000)]
+
+
+def test_owner_is_stable_within_process():
+    ring = HashRing(["w0", "w1", "w2"])
+    owners = {k: ring.owner(k) for k in KEYS}
+    assert owners == {k: ring.owner(k) for k in KEYS}
+
+
+def test_deterministic_placement_across_processes(tmp_path):
+    """Two interpreters with different hash seeds agree on every owner."""
+    script = tmp_path / "owners.py"
+    script.write_text(
+        "import json, sys\n"
+        "from repro.cluster.ring import HashRing\n"
+        "ring = HashRing(['w0', 'w1', 'w2', 'w3'])\n"
+        "keys = [f'key-{i:04d}' for i in range(500)]\n"
+        "json.dump({k: ring.owner(k) for k in keys}, sys.stdout)\n"
+    )
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    outputs = []
+    for hash_seed in ("0", "12345"):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": hash_seed,
+                 "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True,
+        )
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1]
+    local = HashRing(["w0", "w1", "w2", "w3"])
+    assert outputs[0] == {k: local.owner(k) for k in outputs[0]}
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_join_moves_less_than_2_over_n(n):
+    ring = HashRing([f"w{i}" for i in range(n)])
+    before = {k: ring.owner(k) for k in KEYS}
+    ring.add("joiner")
+    moved = [k for k in KEYS if ring.owner(k) != before[k]]
+    # Expected move fraction is 1/(n+1); anything >= 2/(n+1) means the
+    # ring is reshuffling keys it has no business touching.
+    assert len(moved) / len(KEYS) < 2 / (n + 1)
+    # Every moved key moved *to* the joiner, never between old nodes.
+    assert all(ring.owner(k) == "joiner" for k in moved)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_leave_moves_less_than_2_over_n(n):
+    ring = HashRing([f"w{i}" for i in range(n)])
+    before = {k: ring.owner(k) for k in KEYS}
+    ring.remove("w0")
+    moved = [k for k in KEYS if ring.owner(k) != before[k]]
+    assert len(moved) / len(KEYS) < 2 / n
+    # Only the leaver's keys moved; everyone else kept their affinity.
+    assert all(before[k] == "w0" for k in moved)
+    assert all(ring.owner(k) == before[k]
+               for k in KEYS if before[k] != "w0")
+
+
+def test_rejoin_restores_placement():
+    ring = HashRing(["w0", "w1", "w2"])
+    before = {k: ring.owner(k) for k in KEYS}
+    ring.remove("w1")
+    ring.add("w1")
+    assert before == {k: ring.owner(k) for k in KEYS}
+
+
+def test_spread_is_balanced():
+    ring = HashRing([f"w{i}" for i in range(4)])
+    spread = ring.spread(KEYS)
+    fair = len(KEYS) / 4
+    assert set(spread) == {f"w{i}" for i in range(4)}
+    for count in spread.values():
+        assert 0.5 * fair < count < 2.0 * fair
+
+
+def test_lookup_failover_order():
+    ring = HashRing(["w0", "w1", "w2"])
+    order = ring.lookup("some-key", n=3)
+    assert len(order) == 3
+    assert len(set(order)) == 3
+    assert order[0] == ring.owner("some-key")
+    # Asking for more nodes than exist returns them all, once each.
+    assert sorted(ring.lookup("some-key", n=10)) == ["w0", "w1", "w2"]
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    with pytest.raises(EmptyRingError):
+        ring.owner("anything")
+    ring.add("w0")
+    assert ring.owner("anything") == "w0"
+    ring.remove("w0")
+    with pytest.raises(EmptyRingError):
+        ring.lookup("anything")
+
+
+def test_ring_hash_matches_sha256_prefix():
+    assert ring_hash("abc") == int.from_bytes(
+        __import__("hashlib").sha256(b"abc").digest()[:8], "big"
+    )
+
+
+def _zipf_cache_keys(seed: int = 20240, requests: int = 400) -> list[str]:
+    """The seeded Zipf mixed-traffic key stream from ``bench_serve``."""
+    config = baseline_config()
+    apps = ("mm", "st", "i2c")
+    policies = ("on_touch", "oasis", "access_counter")
+    pool = [
+        (app, policy, footprint, seed_)
+        for app in apps for policy in policies
+        for footprint in (4.0, 8.0) for seed_ in (0, 1)
+    ]
+    rng = random.Random(seed)
+    rng.shuffle(pool)
+    weights = [1.0 / (i + 1) for i in range(len(pool))]
+    picks = rng.choices(pool, weights=weights, k=requests)
+    return [
+        cache_key(config, app, policy, footprint, seed_, {})
+        for app, policy, footprint, seed_ in picks
+    ]
+
+
+def test_zipf_mix_routing_preserves_dedup():
+    """Identical requests in the Zipf mix always share one owner, so
+    worker-side single-flight sees the same collapse a single node
+    would."""
+    stream = _zipf_cache_keys()
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    placements: dict[str, set[str]] = {}
+    for key in stream:
+        placements.setdefault(key, set()).add(ring.owner(key))
+    # Dedup-preserving: one owner per distinct key, ever.
+    assert all(len(owners) == 1 for owners in placements.values())
+    # And the dedup *rate* is unchanged by clustering: the number of
+    # distinct (key, owner) pairs equals the number of distinct keys.
+    pairs = {(k, next(iter(v))) for k, v in placements.items()}
+    assert len(pairs) == len(placements)
+    # The hot keys spread over several workers rather than one.
+    owners_used = {next(iter(v)) for v in placements.values()}
+    assert len(owners_used) >= 3

@@ -107,3 +107,64 @@ def test_event_stream_over_http(server):
 
 async def _subscriber_count(service) -> int:
     return len(service._subscribers)
+
+def test_503_maps_to_server_busy_with_hint_preserved(monkeypatch):
+    """An intermediary's 503 (the cluster router shedding) must raise
+    the same ServerBusy as a worker's own 429, hint intact."""
+    client = ServeClient(port=1)
+
+    def fake_request(method, path, body=None):
+        return 503, {"retry-after": "3.5"}, b'{"error": "cluster full"}'
+
+    monkeypatch.setattr(client, "_request", fake_request)
+    with pytest.raises(ServerBusy) as err:
+        client.submit("mm", "on_touch", footprint_mb=4.0)
+    assert err.value.status == 503
+    assert err.value.retry_after_s == 3.5
+
+
+def test_call_with_retry_honors_hints_then_succeeds():
+    from repro.serve.client import call_with_retry
+
+    sleeps: list[float] = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise ServerBusy(429, "busy", retry_after_s=2.5)
+        return "ok"
+
+    assert call_with_retry(flaky, attempts=4, sleep=sleeps.append) == "ok"
+    assert calls["n"] == 3
+    assert sleeps == [2.5, 2.5]
+
+
+def test_call_with_retry_clamps_hint_and_reraises():
+    from repro.serve.client import call_with_retry
+
+    sleeps: list[float] = []
+
+    def always_busy():
+        raise ServerBusy(503, "still busy", retry_after_s=999.0)
+
+    with pytest.raises(ServerBusy) as err:
+        call_with_retry(always_busy, attempts=3, max_sleep_s=0.5,
+                        sleep=sleeps.append)
+    assert err.value.retry_after_s == 999.0  # the hint survives
+    assert sleeps == [0.5, 0.5]              # but the waits are bounded
+
+
+def test_call_with_retry_does_not_retry_failures():
+    from repro.serve.client import call_with_retry
+
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise JobFailedError(500, {"error_type": "RuntimeError",
+                                   "message": "sim blew up"})
+
+    with pytest.raises(JobFailedError):
+        call_with_retry(broken, attempts=4, sleep=lambda _s: None)
+    assert calls["n"] == 1

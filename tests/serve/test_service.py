@@ -276,3 +276,54 @@ class TestObservability:
         assert stats["max_pending"] == 7
         assert stats["jobs"] == 2
         assert stats["uptime_s"] >= 0.0
+
+
+class TestWedgeHealthFields:
+    """The /healthz fields the cluster heartbeat's wedge detection
+    reads: journal segment count and oldest-unresolved-job age."""
+
+    def test_stats_without_journal(self):
+        async def main():
+            service = SimulationService(jobs=1, name="solo")
+            await service.start()
+            stats = service.stats()
+            await service.stop()
+            return stats
+
+        stats = run(main())
+        assert stats["worker"] == "solo"
+        assert stats["journal_segments"] == 0
+        assert stats["oldest_unresolved_age_s"] is None
+
+    def test_journal_segments_counted(self, tmp_path):
+        async def main():
+            service = SimulationService(
+                jobs=1, journal_dir=str(tmp_path / "journal")
+            )
+            await service.start()
+            job = await service.submit(dict(SMALL))
+            await job.wait()
+            stats = service.stats()
+            await service.stop()
+            return stats
+
+        stats = run(main())
+        assert stats["journal_segments"] >= 1
+
+    def test_oldest_unresolved_age_tracks_queued_jobs(self):
+        async def main():
+            service = SimulationService(jobs=1)
+            await service.start(dispatch=False)
+            assert service.oldest_unresolved_age_s() is None
+            await service.submit(dict(SMALL))
+            await asyncio.sleep(0.05)
+            await service.submit(dict(SMALL, seed=1))
+            age = service.oldest_unresolved_age_s()
+            stats = service.stats()
+            await service.stop()
+            return age, stats
+
+        age, stats = run(main())
+        # The *oldest* job's age, not the newest's.
+        assert age is not None and age >= 0.05
+        assert stats["oldest_unresolved_age_s"] is not None
