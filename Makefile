@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
 	verify-serve verify-sim verify-memo verify-chaos verify-cluster \
-	golden-update
+	verify-tenancy golden-update golden-update-tenancy
 
 test:
 	$(PYTHON) -m pytest -q
@@ -63,13 +63,28 @@ verify-cluster:
 	$(PYTHON) -m pytest tests/cluster -q
 	REPRO_NO_FSYNC=1 $(PYTHON) benchmarks/bench_cluster.py --smoke --chaos
 
+# Multi-tenant verification: the tenancy + TLB suites, the
+# degenerate-tenancy differential lane (single-tenant mix must be
+# bit-identical to the solo run on every registry app x oasis/grit),
+# a bounded 2-tenant interleaver/attribution fuzz, and the fairness
+# matrix smoke against the pinned golden digests.
+verify-tenancy:
+	$(PYTHON) -m pytest tests/tenancy tests/tlb -q
+	$(PYTHON) -m repro.cli verify --differential --lanes tenancy --jobs 4
+	$(PYTHON) -m repro.cli verify --fuzz --tenancy --budget 120 --seed 0
+	$(PYTHON) benchmarks/bench_multitenant.py --smoke
+
 verify: verify-faults verify-obs verify-serve verify-sim verify-memo \
-	verify-chaos verify-cluster
+	verify-chaos verify-cluster verify-tenancy
 
 # Re-pin tests/golden/golden.json after an intentional model change;
 # commit the file so the review diff names every counter that moved.
 golden-update:
 	$(PYTHON) -m repro.cli verify --update-golden --jobs 4
+
+# Re-pin tests/golden/golden_tenancy.json (full fairness matrix).
+golden-update-tenancy:
+	$(PYTHON) benchmarks/bench_multitenant.py --update-golden --jobs 4
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py

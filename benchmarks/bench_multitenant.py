@@ -1,0 +1,196 @@
+"""Multi-tenant fairness matrix: OASIS vs GRIT vs on-touch on seeded
+tenant mixes, golden-pinned.
+
+For every (mix x policy) cell the benchmark runs the shared multi-tenant
+simulation plus one solo baseline per tenant (same seed and footprint),
+derives the fairness report — per-tenant slowdown, weighted speedup,
+unfairness index, slowdown quartiles — and pins the shared run's core
+and counter digests in ``tests/golden/golden_tenancy.json`` (zero drift
+allowed; ``--update-golden`` re-pins).  The full matrix and metrics land
+in ``BENCH_multitenant.json`` at the repo root.
+
+Modes:
+
+* ``--smoke`` — two 2-tenant mixes x two policies (the CI job's budget).
+* default (full) — three 2-tenant mixes plus the 4-tenant mix, x three
+  policies.
+
+Every run uses the Table I baseline config at a 16 MB per-tenant
+footprint with mix seed 0, so the digests are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "golden_tenancy.json"
+
+MIXES = ["mm+bfs", "mm+i2c", "i2c+st", "mm+bfs+i2c+st"]
+POLICIES = ["oasis", "grit", "on_touch"]
+SMOKE_MIXES = ["mm+bfs", "i2c+st"]
+SMOKE_POLICIES = ["oasis", "on_touch"]
+FOOTPRINT_MB = 16.0
+SEED = 0
+
+
+def cell_key(mix: str, policy: str) -> str:
+    return f"{mix}/{policy}@{FOOTPRINT_MB:g}mb#{SEED}"
+
+
+def tenant_counters_digest(counters: dict) -> str:
+    """Digest over only the ``tenant.*`` namespace of a counter dict."""
+    import hashlib
+
+    payload = repr(sorted(
+        (k, round(v, 6)) for k, v in counters.items()
+        if k.startswith("tenant.")
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def prewarm(config, mixes, policies, jobs: int) -> None:
+    """Fill the result cache for every shared run and solo baseline."""
+    from repro.harness import run_sims_parallel
+    from repro.workloads import get_workload
+
+    requests = []
+    for mix in mixes:
+        trace = get_workload(mix, config, footprint_mb=FOOTPRINT_MB,
+                             seed=SEED)
+        for policy in policies:
+            requests.append((config, mix, policy,
+                             {"footprint_mb": FOOTPRINT_MB, "seed": SEED}))
+            for info in trace.tenants:
+                requests.append((config, info.app, policy,
+                                 {"footprint_mb": info.footprint_mb,
+                                  "seed": info.seed}))
+    run_sims_parallel(requests, jobs=jobs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="2 mixes x 2 policies (CI budget)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the prewarm sweep")
+    parser.add_argument("--update-golden", action="store_true",
+                        dest="update_golden",
+                        help="re-pin the golden digests instead of "
+                             "checking them")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="matrix JSON path (default "
+                             "BENCH_multitenant.json at repo root)")
+    args = parser.parse_args(argv)
+
+    from repro import baseline_config
+    from repro.harness import configure, run_sim
+    from repro.tenancy import mix_fairness
+    from repro.verify.differential import core_digest
+
+    if args.smoke:
+        mixes, policies = SMOKE_MIXES, SMOKE_POLICIES
+    else:
+        mixes, policies = MIXES, POLICIES
+    config = baseline_config()
+    mode = "smoke" if args.smoke else "full"
+    print(f"bench_multitenant [{mode}]: {len(mixes)} mixes x "
+          f"{len(policies)} policies, footprint {FOOTPRINT_MB:g} MB, "
+          f"seed {SEED}, jobs={args.jobs}")
+
+    configure(disk_cache=False)
+    t0 = time.perf_counter()
+    if args.jobs > 1:
+        prewarm(config, mixes, policies, args.jobs)
+    cells: dict[str, dict] = {}
+    digests: dict[str, dict] = {}
+    for mix in mixes:
+        for policy in policies:
+            report = mix_fairness(
+                config, mix, policy,
+                footprint_mb=FOOTPRINT_MB, seed=SEED,
+            )
+            shared = run_sim(
+                config, mix, policy,
+                footprint_mb=FOOTPRINT_MB, seed=SEED,
+            )
+            key = cell_key(mix, policy)
+            digests[key] = {
+                "core": core_digest(shared),
+                "tenant_counters": tenant_counters_digest(shared.stats),
+            }
+            cells[key] = {
+                "mix": mix,
+                "policy": policy,
+                "slowdown": report["slowdown"],
+                "weighted_speedup": report["weighted_speedup"],
+                "unfairness": report["unfairness"],
+                "quartiles": report["quartiles"],
+                "solo_time_ns": report["solo_time_ns"],
+                "shared_time_ns": report["shared_time_ns"],
+                "total_time_ns": report["total_time_ns"],
+            }
+            slows = ", ".join(
+                f"{t}={s:.2f}x"
+                for t, s in sorted(report["slowdown"].items())
+            )
+            print(f"  {key:<34s} ws={report['weighted_speedup']:.2f} "
+                  f"unfair={report['unfairness']:.2f}  {slows}")
+    elapsed = time.perf_counter() - t0
+
+    failed = False
+    if args.update_golden:
+        pinned = {}
+        if GOLDEN_PATH.exists():
+            pinned = json.loads(GOLDEN_PATH.read_text()).get("entries", {})
+        pinned.update(digests)
+        GOLDEN_PATH.write_text(json.dumps(
+            {"entries": pinned}, indent=2, sort_keys=True
+        ) + "\n")
+        print(f"  golden: pinned {len(digests)} entries to {GOLDEN_PATH}")
+    else:
+        entries = {}
+        if GOLDEN_PATH.exists():
+            entries = json.loads(GOLDEN_PATH.read_text()).get("entries", {})
+        missing = drift = 0
+        for key, digest in digests.items():
+            pin = entries.get(key)
+            if pin is None:
+                missing += 1
+                print(f"  MISSING {key} (pin with --update-golden)")
+                continue
+            if pin != digest:
+                drift += 1
+                print(f"  DRIFT {key}")
+        print(f"  golden: {len(digests) - missing - drift} entries "
+              f"matched, {missing} missing, {drift} drifted")
+        failed |= bool(missing or drift)
+
+    payload = {
+        "benchmark": "multitenant_fairness",
+        "mode": mode,
+        "mixes": mixes,
+        "policies": policies,
+        "footprint_mb": FOOTPRINT_MB,
+        "seed": SEED,
+        "wall_clock_s": round(elapsed, 3),
+        "cells": cells,
+        "digests": digests,
+        "timestamp": time.time(),
+    }
+    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_multitenant.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  matrix written to {out}")
+    print("bench_multitenant: " + ("FAILED" if failed else
+                                   f"ok ({elapsed:.1f}s, zero drift)"))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -257,10 +257,17 @@ def cmd_sweep(args) -> int:
         # trace-dependent presets (e.g. retired-pages) are rejected here.
         plan = _resolve_fault_plan(args.fault_plan, config, trace=None)
         config = config.replace(fault_plan=plan)
+    mixes = (
+        [m.strip() for m in args.tenants.split(",") if m.strip()]
+        if getattr(args, "tenants", None) else []
+    )
     apps = (
         [a.strip() for a in args.apps.split(",") if a.strip()]
-        if args.apps else list(APPLICATION_ORDER)
+        if args.apps else (mixes if mixes else list(APPLICATION_ORDER))
     )
+    for mix_name in mixes:
+        if mix_name not in apps:
+            apps.append(mix_name)
     policies = args.policy or ["on_touch", "access_counter", "duplication",
                                "ideal", "grit", "oasis"]
     from repro.harness import (
@@ -302,6 +309,28 @@ def cmd_sweep(args) -> int:
               f"{memo['snapshot_bytes'] / 1e6:.1f} MB stored"
               + (f", {memo['corrupt']} quarantined"
                  if memo["corrupt"] else ""))
+    if mixes:
+        from repro.tenancy import mix_fairness
+
+        fairness = {}
+        for mix_name in mixes:
+            for policy in policies:
+                report = mix_fairness(
+                    config, mix_name, policy,
+                    footprint_mb=args.footprint_mb,
+                )
+                fairness[f"{mix_name}/{policy}"] = report
+        print("\nfairness (per-tenant slowdown vs solo):")
+        for key, report in fairness.items():
+            slows = ", ".join(
+                f"{t}={s:.2f}x"
+                for t, s in sorted(report["slowdown"].items())
+            )
+            print(f"  {key:<24s} weighted_speedup="
+                  f"{report['weighted_speedup']:.2f} "
+                  f"unfairness={report['unfairness']:.2f}  {slows}")
+        if summary is not None:
+            summary["fairness"] = fairness
     if args.metrics_out:
         import json
 
@@ -464,10 +493,13 @@ def cmd_verify(args) -> int:
     if args.fuzz or run_all:
         from repro.verify import fuzz
 
-        report = fuzz.run_fuzz(
+        tenancy = getattr(args, "tenancy", False)
+        runner = fuzz.run_tenancy_fuzz if tenancy else fuzz.run_fuzz
+        report = runner(
             seed=args.seed, cases=args.cases, budget_s=args.budget,
         )
-        print(f"fuzz: {report['cases']} cases in "
+        label = "tenancy fuzz" if tenancy else "fuzz"
+        print(f"{label}: {report['cases']} cases in "
               f"{report['elapsed_s']:.1f}s")
         for finding in report["failures"]:
             print(f"  FAILURE (seed {finding.seed}, shrunk to "
@@ -642,6 +674,30 @@ def cmd_characterize(args) -> int:
     return 0
 
 
+def _app_or_mix(value: str) -> str:
+    """Parse-time validation for APP args that also accept tenant mixes."""
+    if value in APPLICATIONS:
+        return value
+    known = ", ".join(sorted(APPLICATIONS))
+    if "+" in value:
+        from repro.tenancy.mix import parse_mix
+
+        try:
+            mix = parse_mix(value)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from exc
+        for tenant in mix.tenants:
+            if tenant.app not in APPLICATIONS:
+                raise argparse.ArgumentTypeError(
+                    f"unknown application {tenant.app!r} in mix "
+                    f"{value!r}; known: {known}"
+                )
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown application {value!r}; known: {known}"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-oasis",
@@ -650,7 +706,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="simulate an application")
-    sim.add_argument("app", choices=sorted(APPLICATIONS))
+    sim.add_argument("app", metavar="APP", type=_app_or_mix,
+                     help="registry application "
+                          f"({', '.join(sorted(APPLICATIONS))}) or a "
+                          "multi-tenant mix like mm+bfs")
     sim.add_argument("--policy", action="append",
                      choices=sorted(POLICY_FACTORIES),
                      help="repeatable; first one is the baseline "
@@ -687,6 +746,10 @@ def build_parser() -> argparse.ArgumentParser:
     swp = sub.add_parser("sweep",
                          help="speedup table: apps x policies vs on-touch")
     swp.add_argument("--apps", default=None)
+    swp.add_argument("--tenants", default=None,
+                     help="comma-separated multi-tenant mixes (e.g. "
+                          "mm+bfs,mm+bfs+i2c+st) swept alongside --apps; "
+                          "also prints per-tenant fairness vs solo runs")
     swp.add_argument("--policy", action="append",
                      choices=sorted(POLICY_FACTORIES))
     swp.add_argument("--gpus", type=int, default=None)
@@ -786,6 +849,10 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--fuzz", action="store_true",
                      help="seeded random trace/config fuzzing (failures "
                           "are shrunk to a minimal TraceBuilder program)")
+    ver.add_argument("--tenancy", action="store_true",
+                     help="with --fuzz: fuzz two-tenant mixes through "
+                          "the trace interleaver and per-tenant "
+                          "accounting instead of solo traces")
     ver.add_argument("--update-golden", action="store_true",
                      dest="update_golden",
                      help="recompute and re-pin the golden digests "
@@ -804,7 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--lanes", default=None,
                      help="comma-separated differential lane subset "
                           "(fast_slow, cache, traced, faultplan, "
-                          "parallel, memo; default: all)")
+                          "parallel, memo, tenancy; default: all)")
     ver.add_argument("--policy", action="append",
                      choices=sorted(POLICY_FACTORIES),
                      help="repeatable policy subset (default: all)")

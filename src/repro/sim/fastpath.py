@@ -751,8 +751,10 @@ class FastReplay:
                 tlb = machine.tlbs[g]
                 tlb.l1.hits += l1_hits[g]
                 tlb.l1.misses += l1_misses[g]
+                tlb.l1.lookups += l1_hits[g] + l1_misses[g]
                 tlb.l2.hits += l2_hits[g]
                 tlb.l2.misses += l2_misses[g]
+                tlb.l2.lookups += l2_hits[g] + l2_misses[g]
                 tlb.l1.invalidations += inval_l1[g]
                 tlb.l2.invalidations += inval_l2[g]
         miss_counts = machine.l2_miss_policy_counts

@@ -32,6 +32,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.base import PolicyEngine
 from repro.sim.fastpath import FastReplay
 from repro.sim.results import PhaseResult, SimulationResult
+from repro.tenancy.accounting import TenancyAccounting
 from repro.tlb import TLBHierarchy
 from repro.verify.invariants import NULL_VERIFIER, Verifier
 from repro.uvm import UVMDriver
@@ -104,6 +105,16 @@ class Machine:
             if self.tracer.enabled
             else None
         )
+        # Multi-tenant attribution: only merged traces carrying >= 2
+        # tenants build an accounting object.  Solo traces (and the
+        # degenerate single-tenant mix, which attaches no tenant
+        # metadata) keep it None, so every hook below stays a single
+        # attribute test and solo results are bit-identical.
+        tenants = getattr(trace, "tenants", None)
+        self._tenancy = (
+            TenancyAccounting(trace) if tenants and len(tenants) >= 2
+            else None
+        )
         coherent = not getattr(policy, "requires_incoherent_page_tables", False)
         self.page_tables = PageTables(
             n_pages=trace.n_pages,
@@ -155,6 +166,11 @@ class Machine:
         else:
             self.injector = None
         self.driver.injector = self.injector
+        if self._tenancy is not None:
+            # The driver attributes page movement (migration/duplication
+            # bandwidth) to tenants by page; None (the class default)
+            # keeps the solo driver path untouched.
+            self.driver.tenancy = self._tenancy
         self.clocks = [0.0] * config.n_gpus
         self._fault_keys = [f"fault.by_gpu.{g}" for g in range(config.n_gpus)]
         self._object_fault_keys = [
@@ -168,9 +184,14 @@ class Machine:
         policy.attach(self)
         # Vectorized steady-state replayer; None when the run must stay on
         # the per-record path (capacity manager, REPRO_FORCE_SLOW_PATH,
-        # or an attached tracer/metrics registry — per-event observation
-        # needs the exact per-record path, which is bit-identical anyway).
-        self._fast = None if self._obs_on else FastReplay.for_machine(self)
+        # an attached tracer/metrics registry, or multi-tenant
+        # attribution — per-event observation and per-tenant counters
+        # both need the exact per-record path, which is bit-identical
+        # anyway).
+        self._fast = (
+            None if (self._obs_on or self._tenancy is not None)
+            else FastReplay.for_machine(self)
+        )
         # Phase-prefix memoization (a MemoSession from
         # repro.sim.sweep.PhaseMemo): only healthy, unobserved,
         # multi-phase runs participate.  Observed runs would lose their
@@ -245,6 +266,17 @@ class Machine:
         lat = self.config.latency
         pt = self.page_tables
         clocks = self.clocks
+        ten = self._tenancy
+        if ten is None:
+            ti = -1
+            t_start = 0.0
+        else:
+            # Per-tenant attribution (multi-tenant traces only): resolve
+            # the owning tenant once and bracket the record with clock
+            # reads so contention stalls land on the tenant that paid
+            # them.  Adds no floating-point work on the solo path.
+            ti = ten.index_of(page)
+            t_start = clocks[gpu]
         clocks[gpu] += weight * lat.compute_ns_per_access
         if self.capacity.enabled:
             self.capacity.note_access(gpu, page)
@@ -254,15 +286,27 @@ class Machine:
             cost_ns, l2_miss = tlb.translate_fast(page)
             if l2_miss:
                 self._note_l2_miss(page)
+            if ti >= 0:
+                self.stats.add(ten.lookup_keys[ti])
+                if l2_miss:
+                    self.stats.add(ten.walk_keys[ti])
             clocks[gpu] += cost_ns / lat.mem_parallelism
             self._fault(gpu, page, is_write, protection=False)
             weight -= 1
             if weight <= 0:
+                if ti >= 0:
+                    self.stats.add(
+                        ten.busy_keys[ti][gpu], clocks[gpu] - t_start
+                    )
                 return
             # Remaining accesses in the record proceed with the new mapping.
         cost, l2_miss = tlb.translate_fast(page)
         if l2_miss:
             self._note_l2_miss(page)
+        if ti >= 0:
+            self.stats.add(ten.lookup_keys[ti])
+            if l2_miss:
+                self.stats.add(ten.walk_keys[ti])
         if pt.has_copy(gpu, page):
             if is_write and not pt.is_writable(gpu, page):
                 # Write to a read-only duplicate: page-protection fault,
@@ -273,14 +317,20 @@ class Machine:
             cost += lat.local_access_ns * weight
             clocks[gpu] += cost / lat.mem_parallelism
             self.stats.add("access.local", weight)
+            if ti >= 0:
+                self.stats.add(ten.local_keys[ti], weight)
         else:
             owner = pt.location(page)
             if owner == HOST:
                 per_access = lat.host_access_ns
                 self.stats.add("access.host", weight)
+                if ti >= 0:
+                    self.stats.add(ten.host_keys[ti], weight)
             else:
                 per_access = lat.remote_access_ns
                 self.stats.add("access.remote", weight)
+                if ti >= 0:
+                    self.stats.add(ten.remote_keys[ti], weight)
             clocks[gpu] += cost / lat.mem_parallelism
             clocks[gpu] += per_access * weight / lat.remote_parallelism
             if owner != gpu:
@@ -294,6 +344,8 @@ class Machine:
                 self.stats.add("access.degraded", weight)
             else:
                 self.policy.on_remote_access(gpu, page, is_write, weight)
+        if ti >= 0:
+            self.stats.add(ten.busy_keys[ti][gpu], clocks[gpu] - t_start)
 
     def _note_l2_miss(self, page: int) -> None:
         name = policy_name(self.page_tables.policy(page))
@@ -316,6 +368,15 @@ class Machine:
         # the resolution work; the GPU additionally pays the fault round
         # trip, partially overlapped with other wavefronts.
         service = lat.fault_driver_occupancy_ns + resolution
+        ten = self._tenancy
+        if ten is not None:
+            ti = ten.index_of(page)
+            if ti >= 0:
+                self.stats.add(
+                    ten.fault_prot_keys[ti] if protection
+                    else ten.fault_page_keys[ti]
+                )
+                self.stats.add(ten.occupancy_keys[ti], service)
         done = self.driver.queue.submit(self.clocks[gpu], service)
         stall = (done - self.clocks[gpu]) + lat.fault_service_ns
         charged = stall / lat.fault_parallelism

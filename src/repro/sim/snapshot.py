@@ -50,7 +50,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump whenever the snapshot payload layout or any captured component's
 #: state shape changes; old snapshots become unreachable (and harmless).
-SNAPSHOT_VERSION = 1
+#: v2: TLBs carry a ``lookups`` counter, the driver a ``tenancy`` ref.
+SNAPSHOT_VERSION = 2
 
 #: Ceiling on stored boundaries per run.  Long traces (lenet/vgg/resnet
 #: have 128-158 phases) stride their boundaries so a run never writes
@@ -183,6 +184,10 @@ class _SnapshotPickler(pickle.Pickler):
             id(machine.tracer): ("tracer",),
             id(machine.verifier): ("verifier",),
         }
+        if machine._tenancy is not None:
+            # Derived deterministically from the trace: token it so the
+            # driver's back-reference re-binds instead of duplicating.
+            tokens[id(machine._tenancy)] = ("tenancy",)
         for obj in machine.trace.objects:
             tokens[id(obj)] = ("objdef", obj.obj_id)
             tokens[id(obj.allocation)] = ("alloc", obj.obj_id)
@@ -211,6 +216,8 @@ class _SnapshotUnpickler(pickle.Unpickler):
             return machine.tracer
         if kind == "verifier":
             return machine.verifier
+        if kind == "tenancy":
+            return machine._tenancy
         if kind == "objdef":
             return self._objects[pid[1]]
         if kind == "alloc":

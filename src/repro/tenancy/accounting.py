@@ -1,0 +1,101 @@
+"""Per-tenant counter attribution for multi-tenant replays.
+
+:class:`TenancyAccounting` is built once per :class:`~repro.sim.machine.
+Machine` from the merged trace's tenant windows.  It precomputes every
+namespaced counter key (``tenant.<name>.*``) and a dense page→tenant
+index over the trace's page range, so the hot attribution hooks in the
+access/fault/migration paths cost one array index plus one
+``StatCounters.add`` — and **zero** work on solo traces, where the
+machine holds no accounting object at all and stays bit-identical.
+
+The object is deliberately plain data (strings, ints, one list): phase
+snapshots pickle the UVM driver by value, and the machine's snapshot
+pickler tokenizes the accounting so snapshots stay small and a restored
+driver re-binds to the live machine's instance.
+
+Attributed families (aggregate counters are untouched — the tenant keys
+are strictly additive):
+
+* ``tenant.<t>.tlb.lookups`` / ``tenant.<t>.tlb.walks`` — L1 probes and
+  full page-table walks triggered by the tenant's accesses.
+* ``tenant.<t>.fault.page`` / ``tenant.<t>.fault.protection``.
+* ``tenant.<t>.driver.occupancy_ns`` — fault-queue service time the
+  tenant's faults occupied the driver CPU for.
+* ``tenant.<t>.busy_ns.gpu<g>`` — per-GPU clock advance attributed to
+  the tenant's records (compute + translation + access + fault stalls).
+* ``tenant.<t>.access.local`` / ``.remote`` / ``.host`` — dynamic
+  access counts by service class.
+* ``tenant.<t>.migration.count`` / ``.bytes``,
+  ``tenant.<t>.duplication.count`` / ``.bytes``,
+  ``tenant.<t>.eviction.count`` — driver page movement on the tenant's
+  pages (migration bandwidth attribution).
+"""
+
+from __future__ import annotations
+
+
+class TenancyAccounting:
+    """Page→tenant resolution plus precomputed namespaced counter keys."""
+
+    def __init__(self, trace) -> None:
+        tenants = trace.tenants
+        if not tenants:
+            raise ValueError("trace carries no tenant metadata")
+        self.names = tuple(t.name for t in tenants)
+        self.base = trace.first_page
+        self.page_bytes = trace.page_size
+        of_page = [-1] * trace.n_pages
+        for i, t in enumerate(tenants):
+            start = t.first_page - self.base
+            for off in range(start, start + t.n_pages):
+                of_page[off] = i
+        self._of_page = of_page
+        self._span = len(of_page)
+        n_gpus = trace.n_gpus
+        pre = [f"tenant.{name}." for name in self.names]
+        self.lookup_keys = tuple(p + "tlb.lookups" for p in pre)
+        self.walk_keys = tuple(p + "tlb.walks" for p in pre)
+        self.fault_page_keys = tuple(p + "fault.page" for p in pre)
+        self.fault_prot_keys = tuple(p + "fault.protection" for p in pre)
+        self.occupancy_keys = tuple(p + "driver.occupancy_ns" for p in pre)
+        self.local_keys = tuple(p + "access.local" for p in pre)
+        self.remote_keys = tuple(p + "access.remote" for p in pre)
+        self.host_keys = tuple(p + "access.host" for p in pre)
+        self.busy_keys = tuple(
+            tuple(p + f"busy_ns.gpu{g}" for g in range(n_gpus)) for p in pre
+        )
+        self.migration_count_keys = tuple(p + "migration.count" for p in pre)
+        self.migration_bytes_keys = tuple(p + "migration.bytes" for p in pre)
+        self.duplication_count_keys = tuple(
+            p + "duplication.count" for p in pre
+        )
+        self.duplication_bytes_keys = tuple(
+            p + "duplication.bytes" for p in pre
+        )
+        self.eviction_keys = tuple(p + "eviction.count" for p in pre)
+
+    def index_of(self, page: int) -> int:
+        """Tenant index owning ``page`` (-1 outside every window)."""
+        off = page - self.base
+        if 0 <= off < self._span:
+            return self._of_page[off]
+        return -1
+
+    # -- driver-side hooks (page movement) -------------------------------
+
+    def note_migration(self, stats, page: int) -> None:
+        ti = self.index_of(page)
+        if ti >= 0:
+            stats.add(self.migration_count_keys[ti])
+            stats.add(self.migration_bytes_keys[ti], self.page_bytes)
+
+    def note_duplication(self, stats, page: int) -> None:
+        ti = self.index_of(page)
+        if ti >= 0:
+            stats.add(self.duplication_count_keys[ti])
+            stats.add(self.duplication_bytes_keys[ti], self.page_bytes)
+
+    def note_eviction(self, stats, page: int) -> None:
+        ti = self.index_of(page)
+        if ti >= 0:
+            stats.add(self.eviction_keys[ti])

@@ -1,0 +1,204 @@
+"""Fairness analysis for multi-tenant runs (MODEL.md §15).
+
+Definitions — all derived from counters/timings of *one* shared run plus
+one solo baseline run per tenant, so every number is deterministic and
+golden-pinnable:
+
+* **Tenant shared time** ``T_shared(t)``: the maximum over GPUs of the
+  tenant's attributed busy time ``tenant.<t>.busy_ns.gpu<g>`` — the
+  wall-clock span the tenant's records occupied its busiest GPU in the
+  shared run, *including* contention stalls (TLB walks, fault-queue
+  waits behind other tenants' faults).
+* **Tenant solo time** ``T_solo(t)``: the summed per-phase GPU busy
+  time of the tenant's solo run (``sum(p.gpu_busy_ns)``) — the same
+  busiest-GPU yardstick, measured without co-runners.
+* **Slowdown** ``S(t) = T_shared(t) / T_solo(t)`` (≥ 1 in practice;
+  contention only adds stalls).
+* **Weighted speedup** ``WS = Σ_t 1 / S(t)`` — system throughput in
+  "solo-run equivalents" (≤ number of tenants; higher is better).
+* **Unfairness index** ``U = max_t S(t) / min_t S(t)`` (≥ 1; 1 is
+  perfectly fair).
+* **Slowdown quartiles**: min / q1 / median / q3 / max over the
+  per-tenant slowdowns (linear interpolation, deterministic).
+"""
+
+from __future__ import annotations
+
+_TENANT_PREFIX = "tenant."
+
+
+def solo_time_ns(result) -> float:
+    """Busiest-GPU busy time of a solo run (summed per-phase)."""
+    total = 0.0
+    for phase in result.phases:
+        busy = (
+            phase["gpu_busy_ns"] if isinstance(phase, dict)
+            else phase.gpu_busy_ns
+        )
+        total += busy
+    return total
+
+
+def tenant_names(counters: dict) -> list[str]:
+    """Tenant names present in a counter dict, sorted."""
+    names = set()
+    for key in counters:
+        if key.startswith(_TENANT_PREFIX):
+            names.add(key.split(".", 2)[1])
+    return sorted(names)
+
+
+def tenant_counters(counters: dict) -> dict[str, dict[str, float]]:
+    """Group ``tenant.<t>.*`` counters by tenant, keys un-namespaced."""
+    grouped: dict[str, dict[str, float]] = {}
+    for key, value in counters.items():
+        if not key.startswith(_TENANT_PREFIX):
+            continue
+        _, name, rest = key.split(".", 2)
+        grouped.setdefault(name, {})[rest] = value
+    return {name: grouped[name] for name in sorted(grouped)}
+
+def shared_time_ns(counters: dict, tenant: str) -> float:
+    """Max-over-GPUs attributed busy time for one tenant."""
+    prefix = f"{_TENANT_PREFIX}{tenant}.busy_ns.gpu"
+    busiest = 0.0
+    for key, value in counters.items():
+        if key.startswith(prefix) and value > busiest:
+            busiest = value
+    return busiest
+
+
+def quartiles(values) -> dict[str, float]:
+    """min/q1/median/q3/max with linear interpolation (deterministic)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("quartiles of an empty sequence")
+
+    def at(q: float) -> float:
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    return {
+        "min": data[0],
+        "q1": at(0.25),
+        "median": at(0.5),
+        "q3": at(0.75),
+        "max": data[-1],
+    }
+
+
+def fairness_report(
+    solo_ns: dict[str, float], shared_ns: dict[str, float]
+) -> dict:
+    """Slowdowns, weighted speedup, unfairness and quartiles.
+
+    ``solo_ns`` and ``shared_ns`` map tenant name → time; the key sets
+    must match.
+    """
+    if set(solo_ns) != set(shared_ns):
+        raise ValueError(
+            f"tenant sets differ: solo={sorted(solo_ns)} "
+            f"shared={sorted(shared_ns)}"
+        )
+    if not solo_ns:
+        raise ValueError("no tenants to report on")
+    slowdowns = {}
+    for name in sorted(solo_ns):
+        solo = solo_ns[name]
+        if solo <= 0.0:
+            raise ValueError(f"non-positive solo time for tenant {name!r}")
+        slowdowns[name] = shared_ns[name] / solo
+    values = list(slowdowns.values())
+    return {
+        "slowdown": slowdowns,
+        "weighted_speedup": sum(1.0 / s for s in values),
+        "unfairness": max(values) / min(values),
+        "quartiles": quartiles(values),
+    }
+
+
+def tenant_rollup(counters: dict) -> dict:
+    """Per-tenant summary of an aggregated counter dict (sweep rollup).
+
+    Used by ``last_sweep_summary``: for each tenant seen in the sweep's
+    merged counters, report faults, TLB pressure, migration bandwidth
+    and busiest-GPU time.  Pure aggregation — no baselines needed.
+    """
+    rollup: dict[str, dict[str, float]] = {}
+    for name in tenant_names(counters):
+        p = f"{_TENANT_PREFIX}{name}."
+        get = counters.get
+        rollup[name] = {
+            "faults": get(p + "fault.page", 0.0)
+            + get(p + "fault.protection", 0.0),
+            "tlb_lookups": get(p + "tlb.lookups", 0.0),
+            "tlb_walks": get(p + "tlb.walks", 0.0),
+            "driver_occupancy_ns": get(p + "driver.occupancy_ns", 0.0),
+            "migration_bytes": get(p + "migration.bytes", 0.0),
+            "duplication_bytes": get(p + "duplication.bytes", 0.0),
+            "busy_ns": shared_time_ns(counters, name),
+        }
+    return rollup
+
+
+def mix_fairness(
+    config,
+    mix_name: str,
+    policy: str,
+    *,
+    footprint_mb: float | None = None,
+    seed: int = 0,
+    policy_kwargs: dict | None = None,
+) -> dict:
+    """Run one mix plus its solo baselines and report fairness.
+
+    Solo baselines reuse each tenant's exact seed/footprint, go through
+    the memoized :func:`~repro.harness.run_sim`, and are therefore free
+    when already swept.  Returns the fairness report extended with the
+    raw per-tenant times and counters.
+    """
+    from repro.harness import run_sim
+    from repro.workloads import get_workload
+
+    trace = get_workload(
+        mix_name, config, footprint_mb=footprint_mb, seed=seed
+    )
+    tenants = getattr(trace, "tenants", None)
+    if not tenants:
+        raise ValueError(
+            f"{mix_name!r} is not a multi-tenant mix (need >= 2 tenants)"
+        )
+    shared = run_sim(
+        config, mix_name, policy, footprint_mb=footprint_mb, seed=seed,
+        **(policy_kwargs or {}),
+    )
+    solo_ns: dict[str, float] = {}
+    shared_ns: dict[str, float] = {}
+    for info in tenants:
+        solo = run_sim(
+            config, info.app, policy, footprint_mb=info.footprint_mb,
+            seed=info.seed, **(policy_kwargs or {}),
+        )
+        solo_ns[info.name] = solo_time_ns(solo)
+        shared_ns[info.name] = shared_time_ns(shared.stats, info.name)
+    report = fairness_report(solo_ns, shared_ns)
+    report["mix"] = mix_name
+    report["policy"] = policy
+    report["solo_time_ns"] = solo_ns
+    report["shared_time_ns"] = shared_ns
+    report["tenant_counters"] = tenant_counters(shared.stats)
+    report["total_time_ns"] = shared.total_time_ns
+    return report
+
+
+def publish_fairness_metrics(registry, report: dict) -> None:
+    """Surface a fairness report through a metrics registry as gauges."""
+    prefix = f"tenancy.{report.get('mix', 'mix')}.{report.get('policy', '')}"
+    registry.set_gauge(f"{prefix}.weighted_speedup",
+                       report["weighted_speedup"])
+    registry.set_gauge(f"{prefix}.unfairness", report["unfairness"])
+    for tenant, slowdown in report["slowdown"].items():
+        registry.set_gauge(f"{prefix}.slowdown.{tenant}", slowdown)

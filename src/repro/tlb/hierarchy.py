@@ -134,8 +134,10 @@ class TLBHierarchy:
             walks.append(pos)
         l1.hits += l1_hits
         l1.misses += l1_misses
+        l1.lookups += l1_hits + l1_misses
         l2.hits += l2_hits
         l2.misses += l2_misses
+        l2.lookups += l2_hits + l2_misses
         return costs, walks
 
     def shootdown(self, page: int) -> bool:

@@ -13,6 +13,10 @@ class SetAssociativeTLB:
     victim.
     """
 
+    #: Class-level default so instances restored from pre-``lookups``
+    #: snapshots still resolve the attribute (to a zero baseline).
+    lookups = 0
+
     def __init__(self, config: TLBConfig) -> None:
         self._config = config
         # Geometry cached as plain ints: these sit on the simulator's
@@ -22,6 +26,7 @@ class SetAssociativeTLB:
         self._sets: list[dict[int, None]] = [dict() for _ in range(config.sets)]
         self.hits = 0
         self.misses = 0
+        self.lookups = 0
         self.invalidations = 0
 
     @property
@@ -33,6 +38,7 @@ class SetAssociativeTLB:
 
     def lookup(self, page: int) -> bool:
         """Probe for ``page``; updates LRU order and hit/miss stats."""
+        self.lookups += 1
         entries = self._sets[page % self._n_sets]
         if page in entries:
             del entries[page]

@@ -45,6 +45,12 @@ class UVMDriver:
     is a single attribute test.
     """
 
+    #: Per-tenant page-movement attribution
+    #: (:class:`~repro.tenancy.accounting.TenancyAccounting`), bound by
+    #: the machine on multi-tenant traces.  A class attribute so drivers
+    #: restored from pre-tenancy snapshots still resolve it to ``None``.
+    tenancy = None
+
     def __init__(
         self,
         config: SystemConfig,
@@ -249,6 +255,8 @@ class UVMDriver:
         self.counters.reset_group(page)
         self.stats.add("migration.count")
         self.stats.add("migration.bytes", self.config.page_size)
+        if self.tenancy is not None:
+            self.tenancy.note_migration(self.stats, page)
         if self._obs:
             # Sink rows subsume the size observation (derived by
             # flush_observations at end of run); only a registry without
@@ -309,6 +317,8 @@ class UVMDriver:
         self.capacity.note_resident(gpu, page)
         self.stats.add("duplication.count")
         self.stats.add("duplication.bytes", self.config.page_size)
+        if self.tenancy is not None:
+            self.tenancy.note_duplication(self.stats, page)
         if self._obs:
             if self._duplicate_rows is not None:
                 self._duplicate_rows.append(
@@ -393,6 +403,8 @@ class UVMDriver:
             pt.add_copy(gpu, page)
             self.capacity.note_resident(gpu, page)
             self.stats.add("duplication.count")
+            if self.tenancy is not None:
+                self.tenancy.note_duplication(self.stats, page)
             if self._obs:
                 if self._duplicate_rows is not None:
                     self._duplicate_rows.append(
@@ -461,6 +473,8 @@ class UVMDriver:
             cost += self._transfer(owner, HOST)
         pt.set_exclusive(page, HOST)
         self.stats.add("eviction.count")
+        if self.tenancy is not None:
+            self.tenancy.note_eviction(self.stats, page)
         if self._obs:
             self._note(
                 "evict",

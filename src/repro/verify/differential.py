@@ -34,8 +34,11 @@ import json
 import os
 from contextlib import contextmanager
 
-#: Per-(app, policy) lanes plus the batch-level harness lane.
-LANES = ("fast_slow", "cache", "traced", "faultplan", "parallel", "memo")
+#: Per-(app, policy) lanes plus the batch-level harness lanes.
+LANES = (
+    "fast_slow", "cache", "traced", "faultplan", "parallel", "memo",
+    "tenancy",
+)
 
 #: Default app subset: the two cheapest registry workloads.  The full
 #: 11-app matrix is the golden lane's job; the differential lanes re-run
@@ -283,6 +286,47 @@ def check_memoized_vs_cold(config, app: str, policy: str,
     return mismatches
 
 
+#: Policies the degenerate-tenancy lane covers on every registry app.
+TENANCY_LANE_POLICIES = ("oasis", "grit")
+
+
+def check_degenerate_tenancy(
+    config, apps=None, policies=TENANCY_LANE_POLICIES, seed: int = 0,
+) -> list[str]:
+    """A single-tenant ``TenantMix`` vs the plain solo ``simulate()``.
+
+    The degenerate mix runs through the full tenancy merge machinery
+    (window layout with zero shift, the tenant-round-robin interleaver,
+    object rebasing) and must come out bit-identical to the solo run —
+    trace digest, core digest, and every counter.  Defaults to **all**
+    registry workloads: this is the oracle that licenses the machine's
+    "no tenant metadata → untouched solo path" fast-path gate.
+    """
+    from repro import get_workload, make_policy, simulate
+    from repro.tenancy.mix import single_tenant_trace, trace_digest
+    from repro.workloads.registry import APPLICATION_ORDER
+
+    if apps is None:
+        apps = APPLICATION_ORDER
+    mismatches: list[str] = []
+    for app in apps:
+        solo_trace = get_workload(app, config, seed=seed)
+        mix_trace = single_tenant_trace(app, config, seed=seed)
+        if trace_digest(solo_trace) != trace_digest(mix_trace):
+            mismatches.append(
+                f"tenancy {app}: single-tenant mix trace digest differs "
+                "from the solo trace"
+            )
+            continue
+        for policy in policies:
+            solo = simulate(config, solo_trace, make_policy(policy))
+            mixed = simulate(config, mix_trace, make_policy(policy))
+            mismatches.extend(
+                _compare("tenancy", f"{app}/{policy}", solo, mixed)
+            )
+    return mismatches
+
+
 # -- the oracle runner -----------------------------------------------------
 
 _PAIR_LANES = {
@@ -349,6 +393,13 @@ def run_differential(
             check_serial_vs_parallel(config, pairs, seed=seed, jobs=jobs)
         )
         comparisons += len(pairs)
+    if "tenancy" in lanes:
+        # Batch lane over the full registry: a degenerate single-tenant
+        # mix must be bit-identical to the solo run for every workload.
+        from repro.workloads.registry import APPLICATION_ORDER
+
+        mismatches.extend(check_degenerate_tenancy(config, seed=seed))
+        comparisons += len(APPLICATION_ORDER) * len(TENANCY_LANE_POLICIES)
     return {
         "pairs": len(pairs),
         "comparisons": comparisons,

@@ -334,6 +334,59 @@ def check_counter_laws(machine, replayed_accesses: int | None = None) -> list[st
                 f"{total_faults:g} faults"
             )
 
+    # TLB stats conservation: every probe is a hit or a miss, and the L2
+    # is probed exactly once per L1 miss (inclusive two-level hierarchy).
+    for gpu, hierarchy in enumerate(machine.tlbs):
+        for level, tlb in (("l1", hierarchy.l1), ("l2", hierarchy.l2)):
+            if tlb.hits + tlb.misses != tlb.lookups:
+                violations.append(
+                    f"tlb conservation: gpu{gpu} {level} hits+misses="
+                    f"{tlb.hits + tlb.misses} != lookups {tlb.lookups}"
+                )
+        if hierarchy.l2.lookups != hierarchy.l1.misses:
+            violations.append(
+                f"tlb conservation: gpu{gpu} l2 lookups "
+                f"{hierarchy.l2.lookups} != l1 misses {hierarchy.l1.misses}"
+            )
+
+    # Multi-tenant attribution conservation: tenant-namespaced counters
+    # are strictly additive decompositions of their aggregate families.
+    tenancy = getattr(machine, "_tenancy", None)
+    if tenancy is not None:
+        def tenant_sum(suffix: str) -> float:
+            return sum(
+                stats[f"tenant.{name}.{suffix}"] for name in tenancy.names
+            )
+
+        for family in (
+            "fault.page", "fault.protection", "access.local",
+            "access.remote", "access.host", "migration.count",
+            "migration.bytes", "duplication.count", "eviction.count",
+        ):
+            attributed = tenant_sum(family)
+            aggregate = stats[family]
+            if attributed != aggregate:
+                violations.append(
+                    f"tenancy conservation: sum(tenant.*.{family})="
+                    f"{attributed:g} != {family}={aggregate:g}"
+                )
+        l1_probes = sum(
+            h.l1.hits + h.l1.misses for h in machine.tlbs
+        )
+        attributed_lookups = tenant_sum("tlb.lookups")
+        if attributed_lookups != l1_probes:
+            violations.append(
+                "tenancy conservation: sum(tenant.*.tlb.lookups)="
+                f"{attributed_lookups:g} != L1 probes {l1_probes:g}"
+            )
+        walks = sum(h.l2.misses for h in machine.tlbs)
+        attributed_walks = tenant_sum("tlb.walks")
+        if attributed_walks != walks:
+            violations.append(
+                "tenancy conservation: sum(tenant.*.tlb.walks)="
+                f"{attributed_walks:g} != page-table walks {walks:g}"
+            )
+
     if machine.policy.name == "on_touch":
         if protection_faults:
             violations.append(

@@ -143,15 +143,29 @@ def get_workload(
         read-only (the simulator does).
     """
     key = name.lower()
-    if key not in APPLICATIONS:
-        known = ", ".join(sorted(APPLICATIONS))
-        raise ValueError(f"unknown application {name!r}; known: {known}")
-    info = APPLICATIONS[key]
     gpus = n_gpus if n_gpus is not None else (config.n_gpus if config else 4)
     psize = (
         page_size
         if page_size is not None
         else (config.page_size if config else PAGE_SIZE_4K)
     )
+    if "+" in key:
+        # Multi-tenant mix name ("mm+bfs"): delegate to the tenancy
+        # interleaver, which builds each tenant through this registry.
+        # Imported lazily — repro.tenancy.mix imports this module.
+        from repro.tenancy.mix import get_mix_workload
+
+        return get_mix_workload(
+            key,
+            n_gpus=gpus,
+            page_size=psize,
+            footprint_mb=footprint_mb,
+            seed=seed,
+            burst=burst,
+        )
+    if key not in APPLICATIONS:
+        known = ", ".join(sorted(APPLICATIONS))
+        raise ValueError(f"unknown application {name!r}; known: {known}")
+    info = APPLICATIONS[key]
     mb = footprint_mb if footprint_mb is not None else info.footprint_for(gpus)
     return _cached_build(key, gpus, psize, float(mb), seed, burst)

@@ -1,0 +1,124 @@
+"""Per-tenant counter attribution: conservation against the aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import make_policy
+from repro.sim.machine import Machine, simulate
+from repro.tenancy.accounting import TenancyAccounting
+from repro.tenancy.mix import get_mix_workload, merge_traces
+from tests.conftest import make_trace, sweep_records
+
+#: Families where the tenant-namespaced counters must sum exactly to the
+#: aggregate counter of the same name.  ``duplication.bytes`` is absent
+#: on purpose: ``ideal_copy`` attributes tenant bytes without a matching
+#: aggregate byte counter.
+CONSERVED_FAMILIES = (
+    "fault.page",
+    "fault.protection",
+    "access.local",
+    "access.remote",
+    "access.host",
+    "migration.count",
+    "migration.bytes",
+    "duplication.count",
+    "eviction.count",
+)
+
+
+def tenant_sum(counters: dict, family: str) -> float:
+    return sum(
+        v for k, v in counters.items()
+        if k.startswith("tenant.") and k.split(".", 2)[2] == family
+    )
+
+
+def small_mix():
+    a = make_trace(
+        {"x": 8}, [sweep_records(range(4), "x", 8, False, 2)], burst=4
+    )
+    b = make_trace(
+        {"y": 6},
+        [sweep_records(range(4), "y", 6, True, 2),
+         sweep_records(range(2), "y", 6, False, 1)],
+        burst=4,
+    )
+    return merge_traces([a, b], ["a", "b"], burst=4)
+
+
+class TestAccountingObject:
+    def test_requires_tenant_metadata(self):
+        solo = make_trace({"x": 2}, [[(0, "x", 0, False)]])
+        with pytest.raises(ValueError):
+            TenancyAccounting(solo)
+
+    def test_index_of_maps_windows_and_bounds(self):
+        trace = small_mix()
+        acct = TenancyAccounting(trace)
+        a, b = trace.tenants
+        assert acct.index_of(a.first_page) == 0
+        assert acct.index_of(a.last_page) == 0
+        assert acct.index_of(b.first_page) == 1
+        assert acct.index_of(b.last_page) == 1
+        # The slack between a's last used page and b's window start is
+        # unowned, as is anything outside the trace span.
+        if a.last_page + 1 < b.first_page:
+            assert acct.index_of(a.last_page + 1) == -1
+        assert acct.index_of(trace.first_page - 1) == -1
+        assert acct.index_of(trace.first_page + trace.n_pages) == -1
+
+    def test_key_tuples_cover_every_tenant(self):
+        acct = TenancyAccounting(small_mix())
+        assert acct.names == ("a", "b")
+        assert acct.lookup_keys == (
+            "tenant.a.tlb.lookups", "tenant.b.tlb.lookups"
+        )
+        assert acct.busy_keys[1][3] == "tenant.b.busy_ns.gpu3"
+
+
+class TestMachineAttribution:
+    @pytest.mark.parametrize("policy", ["on_touch", "oasis", "grit"])
+    def test_tenant_families_sum_to_aggregates(self, config, policy):
+        trace = get_mix_workload("mm+bfs", footprint_mb=8, seed=0)
+        result = simulate(config, trace, make_policy(policy))
+        counters = result.stats
+        for family in CONSERVED_FAMILIES:
+            total = tenant_sum(counters, family)
+            assert total == pytest.approx(counters.get(family, 0.0)), family
+
+    def test_tlb_attribution_matches_machine_probes(self, config):
+        machine = Machine(
+            config, small_mix(), make_policy("on_touch")
+        )
+        machine.run()
+        counters = machine.stats.as_dict()
+        probes = sum(h.l1.hits + h.l1.misses for h in machine.tlbs)
+        walks = sum(h.l2.misses for h in machine.tlbs)
+        assert tenant_sum(counters, "tlb.lookups") == probes
+        assert tenant_sum(counters, "tlb.walks") == walks
+
+    def test_busy_time_brackets_the_total(self, config):
+        trace = small_mix()
+        result = simulate(config, trace, make_policy("on_touch"))
+        for tenant in ("a", "b"):
+            busiest = max(
+                v for k, v in result.stats.items()
+                if k.startswith(f"tenant.{tenant}.busy_ns.gpu")
+            )
+            assert 0 < busiest <= result.total_time_ns
+
+    def test_multi_tenant_disables_fast_replay(self, config):
+        machine = Machine(config, small_mix(), make_policy("on_touch"))
+        assert machine._tenancy is not None
+        assert machine._fast is None
+        assert machine.driver.tenancy is machine._tenancy
+
+    def test_single_tenant_mix_has_no_attribution(self, config):
+        solo = make_trace({"x": 4}, [[(0, "x", 0, False)]])
+        merged = merge_traces([solo], ["alone"])
+        machine = Machine(config, merged, make_policy("on_touch"))
+        assert machine._tenancy is None
+        assert machine.driver.tenancy is None
+        result = machine.run()
+        assert not any(k.startswith("tenant.") for k in result.stats)

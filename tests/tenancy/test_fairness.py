@@ -1,0 +1,139 @@
+"""Fairness math and the shared-vs-solo integration path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.tenancy.fairness import (
+    fairness_report,
+    mix_fairness,
+    publish_fairness_metrics,
+    quartiles,
+    shared_time_ns,
+    tenant_counters,
+    tenant_names,
+    tenant_rollup,
+)
+
+SAMPLE = {
+    "tenant.mm.fault.page": 10.0,
+    "tenant.mm.tlb.lookups": 100.0,
+    "tenant.mm.busy_ns.gpu0": 40.0,
+    "tenant.mm.busy_ns.gpu1": 70.0,
+    "tenant.bfs.fault.page": 4.0,
+    "tenant.bfs.busy_ns.gpu0": 55.0,
+    "fault.page": 14.0,
+}
+
+
+class TestQuartiles:
+    def test_known_values(self):
+        q = quartiles([1.0, 2.0, 3.0, 4.0])
+        assert q == {
+            "min": 1.0, "q1": 1.75, "median": 2.5, "q3": 3.25, "max": 4.0,
+        }
+
+    def test_single_value_collapses(self):
+        assert quartiles([2.5]) == {
+            "min": 2.5, "q1": 2.5, "median": 2.5, "q3": 2.5, "max": 2.5,
+        }
+
+    def test_order_independent(self):
+        assert quartiles([3, 1, 2]) == quartiles([1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quartiles([])
+
+
+class TestFairnessReport:
+    def test_two_tenant_math(self):
+        report = fairness_report(
+            {"mm": 100.0, "bfs": 50.0}, {"mm": 150.0, "bfs": 60.0}
+        )
+        assert report["slowdown"] == {"mm": 1.5, "bfs": 1.2}
+        assert report["weighted_speedup"] == pytest.approx(
+            1 / 1.5 + 1 / 1.2
+        )
+        assert report["unfairness"] == pytest.approx(1.25)
+        assert report["quartiles"]["min"] == 1.2
+        assert report["quartiles"]["max"] == 1.5
+
+    def test_mismatched_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report({"mm": 1.0}, {"bfs": 1.0})
+
+    def test_non_positive_solo_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report({"mm": 0.0}, {"mm": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report({}, {})
+
+
+class TestCounterViews:
+    def test_tenant_names(self):
+        assert tenant_names(SAMPLE) == ["bfs", "mm"]
+        assert tenant_names({"fault.page": 1.0}) == []
+
+    def test_tenant_counters_groups_and_strips(self):
+        grouped = tenant_counters(SAMPLE)
+        assert sorted(grouped) == ["bfs", "mm"]
+        assert grouped["mm"]["fault.page"] == 10.0
+        assert grouped["mm"]["busy_ns.gpu1"] == 70.0
+        assert "fault.page" in grouped["bfs"]
+        assert all(not k.startswith("tenant.") for k in grouped["mm"])
+
+    def test_shared_time_is_busiest_gpu(self):
+        assert shared_time_ns(SAMPLE, "mm") == 70.0
+        assert shared_time_ns(SAMPLE, "bfs") == 55.0
+        assert shared_time_ns(SAMPLE, "nope") == 0.0
+
+    def test_tenant_rollup(self):
+        rollup = tenant_rollup(SAMPLE)
+        assert rollup["mm"]["faults"] == 10.0
+        assert rollup["mm"]["tlb_lookups"] == 100.0
+        assert rollup["mm"]["busy_ns"] == 70.0
+        assert rollup["bfs"]["migration_bytes"] == 0.0
+
+
+class TestPublishMetrics:
+    def test_gauges_are_published(self):
+        registry = MetricsRegistry()
+        report = fairness_report(
+            {"mm": 100.0, "bfs": 50.0}, {"mm": 150.0, "bfs": 60.0}
+        )
+        report["mix"] = "mm+bfs"
+        report["policy"] = "oasis"
+        publish_fairness_metrics(registry, report)
+        prefix = "tenancy.mm+bfs.oasis"
+        assert registry.gauge(f"{prefix}.weighted_speedup") == pytest.approx(
+            report["weighted_speedup"]
+        )
+        assert registry.gauge(f"{prefix}.unfairness") == pytest.approx(1.25)
+        assert registry.gauge(f"{prefix}.slowdown.mm") == pytest.approx(1.5)
+        assert registry.gauge(f"{prefix}.slowdown.bfs") == pytest.approx(1.2)
+
+
+class TestMixFairness:
+    def test_full_report_on_a_real_mix(self, config):
+        report = mix_fairness(
+            config, "mm+bfs", "on_touch", footprint_mb=8, seed=0
+        )
+        assert report["mix"] == "mm+bfs"
+        assert report["policy"] == "on_touch"
+        assert sorted(report["slowdown"]) == ["bfs", "mm"]
+        assert all(s > 0 for s in report["slowdown"].values())
+        assert report["weighted_speedup"] > 0
+        assert report["unfairness"] >= 1.0
+        assert sorted(report["tenant_counters"]) == ["bfs", "mm"]
+        assert report["total_time_ns"] > 0
+        for tenant in ("mm", "bfs"):
+            assert report["shared_time_ns"][tenant] > 0
+            assert report["solo_time_ns"][tenant] > 0
+
+    def test_solo_app_rejected(self, config):
+        with pytest.raises(ValueError):
+            mix_fairness(config, "mm", "on_touch", footprint_mb=8)

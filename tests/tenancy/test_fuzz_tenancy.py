@@ -1,0 +1,94 @@
+"""Two-tenant fuzzing: determinism, clean runs, shrinking, repro programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import StatCounters
+from repro.verify.fuzz import (
+    build_tenant_trace,
+    generate_tenant_case,
+    run_tenancy_fuzz,
+    run_tenant_case,
+    shrink_tenant_case,
+    tenant_case_program,
+    tenant_repro_command,
+)
+
+
+def test_case_generation_is_deterministic():
+    assert generate_tenant_case(11) == generate_tenant_case(11)
+    assert generate_tenant_case(11) != generate_tenant_case(12)
+    case = generate_tenant_case(11)
+    assert case.a.n_gpus == case.b.n_gpus
+    assert case.a.records != case.b.records
+
+
+def test_built_trace_is_a_two_tenant_mix():
+    case = generate_tenant_case(2)
+    trace = build_tenant_trace(case)
+    assert len(trace.tenants) == 2
+    assert trace.total_records == case.n_records
+    a, b = trace.tenants
+    assert a.first_page + a.n_pages <= b.first_page
+
+
+def test_healthy_cases_pass_every_oracle():
+    for seed in range(6):
+        case = generate_tenant_case(seed)
+        assert run_tenant_case(case) is None, f"seed {seed}"
+
+
+def test_run_tenancy_fuzz_respects_case_count_and_budget():
+    report = run_tenancy_fuzz(seed=0, cases=4)
+    assert report["cases"] == 4
+    assert report["failures"] == []
+    assert run_tenancy_fuzz(seed=0, budget_s=0.0)["cases"] == 0
+
+
+def test_repro_command_names_the_tenancy_flag():
+    command = tenant_repro_command(generate_tenant_case(5))
+    assert "--fuzz" in command
+    assert "--tenancy" in command
+    assert "--seed 5" in command
+
+
+def test_case_program_is_standalone_and_replayable():
+    case = generate_tenant_case(3)
+    program = tenant_case_program(case)
+    assert "merge_traces" in program
+    assert program.count("TraceBuilder(") == 2
+    namespace: dict = {}
+    exec(compile(program, "<tenant-repro>", "exec"), namespace)
+
+
+@pytest.fixture
+def dropped_tenant_attribution(monkeypatch):
+    """Seeded bug: per-tenant fault attribution silently vanishes."""
+    orig = StatCounters.add
+
+    def dropping(self, name, amount=1.0):
+        if name.startswith("tenant.") and name.endswith("fault.page"):
+            return
+        orig(self, name, amount)
+
+    monkeypatch.setattr(StatCounters, "add", dropping)
+
+
+def test_fuzzer_finds_and_shrinks_attribution_bug(
+    dropped_tenant_attribution,
+):
+    report = run_tenancy_fuzz(seed=0, cases=10, stop_at=1)
+    assert len(report["failures"]) == 1
+    finding = report["failures"][0]
+    assert finding.n_records <= 20
+    assert "tenan" in finding.failure or "fault" in finding.failure
+    assert "--tenancy" in finding.command
+    assert "merge_traces" in finding.program
+    # The shrunk case still fails, and only by the original oracle.
+    case = generate_tenant_case(finding.seed)
+    failure = run_tenant_case(case)
+    assert failure is not None
+    shrunk = shrink_tenant_case(case, failure)
+    assert shrunk.n_records <= case.n_records
+    assert run_tenant_case(shrunk) is not None

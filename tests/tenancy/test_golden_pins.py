@@ -1,0 +1,52 @@
+"""One pinned fairness-matrix cell, checked in tier-1.
+
+The full matrix lives in ``benchmarks/bench_multitenant.py`` (the
+``verify-tenancy`` make target runs its smoke mode); this keeps a single
+cheap cell's digests honest on every test run so drift surfaces early.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_multitenant import (
+    FOOTPRINT_MB,
+    GOLDEN_PATH,
+    SEED,
+    cell_key,
+    tenant_counters_digest,
+)
+from repro import make_policy, simulate
+from repro.verify.differential import core_digest
+from repro.workloads import get_workload
+
+PINNED_CELL = ("i2c+st", "on_touch")
+
+
+@pytest.fixture(scope="module")
+def entries():
+    if not GOLDEN_PATH.exists():
+        pytest.skip("golden_tenancy.json not pinned yet")
+    return json.loads(Path(GOLDEN_PATH).read_text())["entries"]
+
+
+def test_every_pin_has_both_digests(entries):
+    assert entries, "empty golden file"
+    for key, pin in entries.items():
+        assert set(pin) == {"core", "tenant_counters"}, key
+
+
+def test_pinned_cell_digests_match(config, entries):
+    mix, policy = PINNED_CELL
+    key = cell_key(mix, policy)
+    assert key in entries, f"{key} unpinned — run bench --update-golden"
+    trace = get_workload(mix, config, footprint_mb=FOOTPRINT_MB, seed=SEED)
+    result = simulate(config, trace, make_policy(policy))
+    assert core_digest(result) == entries[key]["core"]
+    assert (
+        tenant_counters_digest(result.stats)
+        == entries[key]["tenant_counters"]
+    )
