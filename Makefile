@@ -3,7 +3,8 @@ export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench sweep verify verify-faults verify-obs \
 	verify-serve verify-sim verify-memo verify-chaos verify-cluster \
-	verify-tenancy golden-update golden-update-tenancy
+	verify-tenancy golden-update golden-update-tenancy \
+	reproduce reproduce-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -88,6 +89,18 @@ golden-update-tenancy:
 
 bench-smoke:
 	$(PYTHON) scripts/bench_smoke.py
+
+# One-command reproduce-all: every paper table/figure through the
+# parallel harness into results/artifacts/<run-id>/ (manifest.json,
+# metrics.jsonl, summary.json), then results/BENCH_all.json and a
+# regenerated EXPERIMENTS.md.  Resumable — rerunning the same profile
+# skips recorded experiments and serves cells from the result cache.
+reproduce:
+	$(PYTHON) scripts/reproduce_all --jobs 4
+
+# Smoke profile for CI: 3 apps (mm,st,bfs), all experiments.
+reproduce-smoke:
+	$(PYTHON) scripts/reproduce_all --smoke --jobs 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -47,7 +47,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 from repro import baseline_config  # noqa: E402
 from repro.chaos import ChaosPlan, ClusterChaos  # noqa: E402
@@ -56,10 +58,6 @@ from repro.cluster import LocalCluster  # noqa: E402
 from repro.harness import run_sim  # noqa: E402
 from repro.harness.diskcache import SharedResultStore, cache_key  # noqa: E402
 from repro.serve.client import ServerBusy  # noqa: E402
-
-RESULTS_PATH = (
-    Path(__file__).resolve().parent.parent / "results" / "BENCH_cluster.json"
-)
 
 #: Scaling-phase speedup floors from ISSUE 8, armed only when the host
 #: has at least ``workers + 1`` CPUs (the router needs a core too).
@@ -321,7 +319,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the kill-steal phase")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink everything for the CI smoke")
-    parser.add_argument("--out", default=str(RESULTS_PATH))
+    parser.add_argument("--out", default=None,
+                        help="report path (default "
+                             "results/BENCH_cluster.json)")
     args = parser.parse_args(argv)
     scales: tuple[int, ...] = (1, 2, 4)
     if args.smoke:
@@ -365,9 +365,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"kill-steal: killed {list(ks['killed'])} mid-burst; "
               f"{ks['jobs_lost']} acked jobs lost; golden pin "
               f"{ks['golden_pin']}")
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    from benchmarks.conftest import write_bench_artifact
+
+    out = write_bench_artifact("cluster", report, out=args.out)
     print(f"report written to {out}")
     return 0
 

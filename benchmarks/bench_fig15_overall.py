@@ -6,10 +6,14 @@ OASIS, and OASIS approaches the Ideal bound on private- and read-only-
 dominated applications.
 """
 
-import json
 import time
 
-from benchmarks.conftest import REPO_ROOT, bench_apps, column, geomean_row
+from benchmarks.conftest import (
+    bench_apps,
+    column,
+    geomean_row,
+    write_bench_artifact,
+)
 
 
 def _write_trajectory(experiment, cache_before, memo_before):
@@ -41,8 +45,7 @@ def _write_trajectory(experiment, cache_before, memo_before):
         },
         "timestamp": time.time(),
     }
-    out = REPO_ROOT / "BENCH_fig15.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    write_bench_artifact("fig15", payload)
 
 
 def test_fig15_overall_performance(experiment):

@@ -4,8 +4,8 @@ Times the same policy sweep three ways — cold (memo off), populate
 (memo on, empty store) and warm (memo on, populated store) — asserts
 the warm sweep's speedup over cold, verifies every warm result against
 the pinned golden digests (zero drift allowed), and writes the
-trajectory to ``BENCH_memo.json`` at the repo root so future re-anchors
-can see speed over time.
+trajectory to ``results/BENCH_memo.json`` so future re-anchors can see
+speed over time.
 
 Modes:
 
@@ -22,7 +22,6 @@ throwaway directory so pool workers (``--jobs N``) share them too.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -30,6 +29,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 SMOKE_APPS = ["c2d", "st"]
 SMOKE_POLICIES = ["oasis", "on_touch", "grit"]
@@ -55,7 +55,7 @@ def main(argv=None) -> int:
                              "(default 1.5 smoke, 5.0 full)")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="trajectory JSON path "
-                             "(default BENCH_memo.json at repo root)")
+                             "(default results/BENCH_memo.json)")
     args = parser.parse_args(argv)
 
     from repro import POLICY_FACTORIES, baseline_config
@@ -143,8 +143,9 @@ def main(argv=None) -> int:
         },
         "timestamp": time.time(),
     }
-    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_memo.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from benchmarks.conftest import write_bench_artifact
+
+    out = write_bench_artifact("memo", payload, out=args.out)
     print(f"  trajectory written to {out}")
 
     failed = False

@@ -7,7 +7,7 @@ derives the fairness report — per-tenant slowdown, weighted speedup,
 unfairness index, slowdown quartiles — and pins the shared run's core
 and counter digests in ``tests/golden/golden_tenancy.json`` (zero drift
 allowed; ``--update-golden`` re-pins).  The full matrix and metrics land
-in ``BENCH_multitenant.json`` at the repo root.
+in ``results/BENCH_multitenant.json``.
 
 Modes:
 
@@ -29,6 +29,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "golden_tenancy.json"
 
@@ -86,7 +87,7 @@ def main(argv=None) -> int:
                              "checking them")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="matrix JSON path (default "
-                             "BENCH_multitenant.json at repo root)")
+                             "results/BENCH_multitenant.json)")
     args = parser.parse_args(argv)
 
     from repro import baseline_config
@@ -184,8 +185,9 @@ def main(argv=None) -> int:
         "digests": digests,
         "timestamp": time.time(),
     }
-    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_multitenant.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from benchmarks.conftest import write_bench_artifact
+
+    out = write_bench_artifact("multitenant", payload, out=args.out)
     print(f"  matrix written to {out}")
     print("bench_multitenant: " + ("FAILED" if failed else
                                    f"ok ({elapsed:.1f}s, zero drift)"))

@@ -32,21 +32,18 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import sys
 import tempfile
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 from repro.harness import runner  # noqa: E402
 from repro.harness.runner import cache_stats  # noqa: E402
 from repro.serve import SimulationService  # noqa: E402
-
-RESULTS_PATH = (
-    Path(__file__).resolve().parent.parent / "results" / "BENCH_recovery.json"
-)
 
 #: The burst is one cheap app fanned out over seeds, so every job is a
 #: distinct simulation (distinct cache key) but each costs well under a
@@ -150,7 +147,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="service worker processes per batch")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink the burst for the CI smoke job")
-    parser.add_argument("--out", default=str(RESULTS_PATH))
+    parser.add_argument("--out", default=None,
+                        help="report path (default "
+                             "results/BENCH_recovery.json)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.burst = min(args.burst, 16)
@@ -204,9 +203,9 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         runner.clear_cache()
         runner._DISK, runner._JOBS = prev_disk, prev_jobs
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    from benchmarks.conftest import write_bench_artifact
+
+    out = write_bench_artifact("recovery", report, out=args.out)
     print(f"report written to {out}")
     return 0
 

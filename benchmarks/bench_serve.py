@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import random
 import sys
 import threading
@@ -43,17 +42,15 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 from repro import baseline_config, get_workload  # noqa: E402
 from repro.harness import cache_stats, clear_cache, configure, run_sim  # noqa: E402
 from repro.serve import SimulationService  # noqa: E402
 from repro.serve.client import ServeClient, ServerBusy  # noqa: E402
 from repro.serve.http import ServeHttpServer  # noqa: E402
-
-RESULTS_PATH = (
-    Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
-)
 
 #: The sweep pool the seeded traffic is drawn from.
 APPS = ("mm", "st", "i2c")
@@ -229,7 +226,9 @@ def main(argv: list[str] | None = None) -> int:
                              "results on a spec sample")
     parser.add_argument("--smoke", action="store_true",
                         help="shrink the mix for the ~30s CI smoke")
-    parser.add_argument("--out", default=str(RESULTS_PATH))
+    parser.add_argument("--out", default=None,
+                        help="report path (default "
+                             "results/BENCH_serve.json)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.requests = min(args.requests, 60)
@@ -265,9 +264,9 @@ def main(argv: list[str] | None = None) -> int:
                   "invariant-verified run")
     finally:
         sut.close()
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    from benchmarks.conftest import write_bench_artifact
+
+    out = write_bench_artifact("serve", report, out=args.out)
     print(f"report written to {out}")
     return 0
 

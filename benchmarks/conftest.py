@@ -24,18 +24,45 @@ counts for both levels.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.artifacts.registry import (  # noqa: F401  (re-exported shim)
+    BenchExperiment,
+    discover_experiments,
+    experiment_order,
+    normalize_exp_id,
+)
 from repro.harness import cache_stats, configure, memo_stats, run_experiment
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-#: Perf-trajectory artifacts (BENCH_*.json) land at the repo root.
+#: Kept for path arithmetic; perf-trajectory artifacts (BENCH_*.json)
+#: land under ``results/`` via :func:`write_bench_artifact`, NOT here.
 REPO_ROOT = RESULTS_DIR.parent
+
+
+def write_bench_artifact(name: str, payload: dict, out=None) -> Path:
+    """Write one ``results/BENCH_<name>.json`` perf-trajectory artifact.
+
+    The single emitter every benchmark and script goes through, so all
+    ``BENCH_*.json`` files land in one place (``results/``) with one
+    format, and ``scripts/reproduce_all`` can consolidate them into
+    ``results/BENCH_all.json``.  ``out`` overrides the full path (used
+    by the ``--out`` flags of the standalone benchmark drivers).
+
+    Through 2026-08 these artifacts lived at the repo root
+    (``BENCH_fig15.json`` et al.); they moved under ``results/`` when
+    the artifact pipeline landed.
+    """
+    path = Path(out) if out else RESULTS_DIR / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

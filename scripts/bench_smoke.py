@@ -13,14 +13,15 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import tempfile
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
 from repro import baseline_config, get_workload, make_policy  # noqa: E402
 from repro.harness import cache_stats, configure, run_sim  # noqa: E402
@@ -29,7 +30,6 @@ from repro.sim.machine import Machine  # noqa: E402
 
 APPS = ("mm", "st", "i2c")
 POLICY = "on_touch"
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_replay.json"
 
 
 def time_replay(config, trace, slow: bool) -> float:
@@ -213,10 +213,12 @@ def main() -> int:
         "cache": cache,
         "fault_overhead": faults,
         "obs_overhead": obs,
+        "timestamp": time.time(),
     }
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[saved to {RESULTS_PATH}]")
+    from benchmarks.conftest import write_bench_artifact
+
+    path = write_bench_artifact("replay", payload)
+    print(f"[saved to {path}]")
     worst = min(row["speedup"] for row in replay)
     status = 0
     if worst < 3.0:

@@ -1,89 +1,29 @@
 """Generate EXPERIMENTS.md from the saved experiment reports.
 
-Runs after the benchmark suite has populated ``results/``; stitches every
-report's table plus its paper-vs-measured lines into one document.
+Standalone wrapper over :mod:`repro.artifacts.experiments_md` — the
+same generator ``scripts/reproduce_all`` runs after a full-profile
+pipeline run, kept as its own script for regenerating the document
+from an already-populated ``results/`` without re-running anything.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
-RESULTS = ROOT / "results"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-ORDER = [
-    "table1", "table2", "table3",
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "fig21", "fig22", "fig23", "fig24", "fig25",
-]
-
-HEADER = """# EXPERIMENTS — paper vs measured
-
-Every table and figure of the OASIS paper's evaluation, regenerated by
-`pytest benchmarks/ --benchmark-only` (reports in `results/`; regenerate
-any single one with `python examples/reproduce_figure.py <id>`).
-
-Absolute numbers are not expected to match the authors' MGPUSim testbed —
-this substrate is a trace-driven page-policy simulator (DESIGN.md §1).
-The reproduced quantity is the *shape*: per-application winners, rough
-factors, and crossovers.
-
-## Known deviations from the paper
-
-* **Uniform duplication never drops below the on-touch baseline.** In
-  the paper Fig. 2 shows duplication under 1.0 for some write-heavy
-  apps; here its write-collapse pain (priced per extra revoked copy)
-  leaves it at or slightly above on-touch at worst. It still loses those
-  apps to the counter policy, preserving Observation 1 (no universal
-  winner).
-* **Margins over the two adaptive baselines are redistributed.** The
-  paper reports OASIS +35% over the counter policy and +42% over
-  duplication; in this substrate duplication is the stronger baseline
-  (OASIS margin over it is thinner, over the counter policy wider).
-  The calibration was resolved in favour of the paper's *per-application*
-  claims — duplication wins MM/MT, the counter policy wins BFS/ST,
-  on-touch is the best realizable policy for I2C, and OASIS matches or
-  beats the best uniform policy on essentially every app — at the cost of
-  these two aggregate margins.
-* **Fig. 16 (reset threshold).** The measured sensitivity is far weaker
-  than the paper's ±9 points: weighted trace records compress fault
-  streams, so a stale policy episode lasts only a handful of simulated
-  faults at any threshold. The ordering (8 not worse than 4 or 32) holds.
-* **Fig. 20's rw-mix growth is flat.** The shared-page fraction grows
-  strongly with 2 MB pages (as in the paper), but the rw-mix fraction
-  stays roughly constant because several workloads' pages are already
-  rw-mix at 4 KB in our traces.
-* **OASIS-InMem overhead** is ~1% rather than the paper's 2%: shadow-map
-  lookups are charged per shared fault, and our fault costs are calibrated
-  lower than MGPUSim's.
-* **Fig. 25 (oversubscription)** needs a capacity guard — OASIS degrades
-  duplication to remote mappings when the requesting GPU is at capacity —
-  to avoid duplicate-eviction churn under our stricter capacity model;
-  documented in DESIGN.md.
-
-## Results
-
-"""
+from repro.artifacts.experiments_md import write_experiments_md  # noqa: E402
+from repro.artifacts.registry import experiment_order  # noqa: E402
 
 
 def main() -> None:
-    parts = [HEADER]
-    missing = []
-    for exp_id in ORDER:
-        path = RESULTS / f"{exp_id}.txt"
-        if not path.exists():
-            missing.append(exp_id)
-            continue
-        body = path.read_text().rstrip()
-        parts.append(f"### {exp_id}\n\n```\n{body}\n```\n")
+    missing = write_experiments_md()
+    total = len(experiment_order())
+    print(f"wrote EXPERIMENTS.md ({total - len(missing)} reports)")
     if missing:
-        parts.append(
-            "\n*(missing reports: " + ", ".join(missing)
-            + " — run `pytest benchmarks/ --benchmark-only`)*\n"
-        )
-    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
-    print(f"wrote EXPERIMENTS.md ({len(ORDER) - len(missing)} reports)")
+        print("missing reports: " + ", ".join(missing)
+              + " — run scripts/reproduce_all")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,11 @@ Subcommands:
 * ``simulate APP [--policy P ...]`` — run one application under one or
   more policies and print a comparison table.
 * ``experiment ID`` — regenerate a paper table/figure (see ``list``).
+* ``reproduce`` — one-command reproduce-all: every experiment through
+  the parallel harness into a per-run artifact directory
+  (``manifest.json``, ``metrics.jsonl``, ``summary.json``) plus the
+  consolidated ``results/BENCH_all.json``; resumable (``--smoke``,
+  ``--only``, ``--seeds``; same as ``scripts/reproduce_all``).
 * ``list`` — list applications, policies, and experiments.
 * ``characterize APP`` — print the Section IV object characterization.
 * ``faults APP [--plan NAME|JSON|@FILE]`` — compare a healthy run
@@ -230,6 +235,12 @@ def cmd_experiment(args) -> int:
             path = result.save(Path(args.save))
             print(f"saved to {path}")
     return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.artifacts.pipeline import run_from_args
+
+    return run_from_args(args)
 
 
 def cmd_list(_args) -> int:
@@ -699,6 +710,8 @@ def _app_or_mix(value: str) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.artifacts.pipeline import add_pipeline_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro-oasis",
         description="OASIS (HPCA 2025) reproduction toolkit",
@@ -742,6 +755,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-cache", action="store_true", dest="no_cache",
                      help="skip the persistent result cache")
     exp.set_defaults(func=cmd_experiment)
+
+    rpr = sub.add_parser(
+        "reproduce",
+        help="reproduce every table/figure into an artifact dir",
+        description="One-command reproduce-all: run every bench_fig*/"
+                    "bench_table* experiment through the parallel "
+                    "harness (disk cache + sweep memoization), writing "
+                    "manifest.json / metrics.jsonl / summary.json plus "
+                    "results/BENCH_all.json.  Resumable: re-invoking "
+                    "the same profile skips recorded experiments and "
+                    "serves re-run cells from the result cache.",
+    )
+    add_pipeline_arguments(rpr)
+    rpr.set_defaults(func=cmd_reproduce)
 
     swp = sub.add_parser("sweep",
                          help="speedup table: apps x policies vs on-touch")

@@ -207,8 +207,18 @@ class ClusterRouter:
         for task in list(self._steals):
             try:
                 await task
-            except Exception:
+            except asyncio.CancelledError:
                 pass
+            except (ClientError, JobFailed, AdmissionError, EmptyRingError,
+                    OSError, RuntimeError, ValueError) as exc:
+                # A steal that dies during shutdown must not block the
+                # stop, but it is a real cleanup failure: make it
+                # observable instead of dropping it on the floor.
+                self.metrics.inc("cluster.swallowed_errors")
+                self._emit(
+                    "cluster_swallowed_error", where="steal_wait",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
         for future in self._inflight.values():
             if not future.done():
                 future.set_exception(JobFailed({

@@ -27,6 +27,7 @@ bound, so the supervisor only has to wait for the registry to fill.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
 import os
 import signal
@@ -245,8 +246,17 @@ class LocalCluster:
         if self.http is not None and self._loop is not None:
             try:
                 self._call(self.http.stop(), timeout_s=10)
-            except Exception:
-                pass
+            except (concurrent.futures.TimeoutError, TimeoutError, OSError,
+                    RuntimeError) as exc:
+                # The HTTP front end failing to stop must not wedge the
+                # supervisor teardown (the loop is torn down right
+                # below either way), but the failure is observable:
+                # counted on the router registry and left on its trace.
+                self.router.metrics.inc("cluster.swallowed_errors")
+                self.router._emit(
+                    "cluster_swallowed_error", where="http_stop",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)
             if self._thread is not None:

@@ -9,7 +9,11 @@ under ``benchmarks/``) to regenerate any table or figure of the paper::
 """
 
 from repro.harness.diskcache import DiskCache
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    SEEDED_EXPERIMENTS,
+    run_experiment,
+)
 from repro.harness.report import (
     ExperimentResult,
     counter_table,
@@ -32,6 +36,7 @@ from repro.harness.runner import (
 
 __all__ = [
     "EXPERIMENTS",
+    "SEEDED_EXPERIMENTS",
     "DiskCache",
     "ExperimentResult",
     "RunFailure",

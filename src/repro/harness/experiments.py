@@ -49,7 +49,7 @@ def _pct(speedup: float) -> str:
 # Tables
 # ---------------------------------------------------------------------------
 
-def table1(apps=None) -> ExperimentResult:
+def table1(apps=None, seed: int = 0) -> ExperimentResult:
     """Table I: baseline multi-GPU configuration."""
     cfg = baseline_config()
     lat = cfg.latency
@@ -76,7 +76,7 @@ def table1(apps=None) -> ExperimentResult:
     )
 
 
-def table2(apps=None) -> ExperimentResult:
+def table2(apps=None, seed: int = 0) -> ExperimentResult:
     """Table II: application list with object counts and footprints."""
     cfg = baseline_config()
     rows = []
@@ -99,7 +99,7 @@ def table2(apps=None) -> ExperimentResult:
     )
 
 
-def table3(apps=None) -> ExperimentResult:
+def table3(apps=None, seed: int = 0) -> ExperimentResult:
     """Table III: memory footprints for 8- and 16-GPU configurations."""
     rows = []
     for app in apps or DEFAULT_APPS:
@@ -125,10 +125,11 @@ def table3(apps=None) -> ExperimentResult:
 # Characterization figures (Section IV)
 # ---------------------------------------------------------------------------
 
-def fig2(apps=None) -> ExperimentResult:
+def fig2(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 2: uniform policies normalized to on-touch, plus Ideal."""
     cfg = baseline_config()
-    rows, geo = speedup_table(cfg, apps or DEFAULT_APPS, UNIFORM_POLICIES)
+    rows, geo = speedup_table(cfg, apps or DEFAULT_APPS, UNIFORM_POLICIES,
+                              seed=seed)
     return ExperimentResult(
         "fig2", "Uniform page-management policies vs on-touch (Fig. 2)",
         ["app", *UNIFORM_POLICIES], rows,
@@ -142,7 +143,7 @@ def fig2(apps=None) -> ExperimentResult:
     )
 
 
-def fig3(apps=None) -> ExperimentResult:
+def fig3(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 3: distribution of object sizes."""
     cfg = baseline_config()
     traces = [get_workload(a, cfg) for a in (apps or DEFAULT_APPS)]
@@ -158,7 +159,7 @@ def fig3(apps=None) -> ExperimentResult:
     )
 
 
-def fig4(apps=None) -> ExperimentResult:
+def fig4(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 4: MT page access patterns over pages and over time."""
     cfg = baseline_config()
     trace = get_workload("mt", cfg)
@@ -190,7 +191,7 @@ def fig4(apps=None) -> ExperimentResult:
     )
 
 
-def fig5(apps=None) -> ExperimentResult:
+def fig5(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 5: object behaviour and access shares for I2C, MM, ST."""
     cfg = baseline_config()
     rows = []
@@ -215,7 +216,7 @@ def fig5(apps=None) -> ExperimentResult:
     )
 
 
-def fig6(apps=None) -> ExperimentResult:
+def fig6(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 6: C2D object patterns across explicit phases."""
     cfg = baseline_config()
     trace = get_workload("c2d", cfg)
@@ -242,7 +243,7 @@ def fig6(apps=None) -> ExperimentResult:
     )
 
 
-def fig7(apps=None) -> ExperimentResult:
+def fig7(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 7: ST page patterns across iterations (implicit phases)."""
     cfg = baseline_config()
     trace = get_workload("st", cfg)
@@ -269,10 +270,11 @@ def fig7(apps=None) -> ExperimentResult:
 # Main results (Section VI)
 # ---------------------------------------------------------------------------
 
-def fig15(apps=None) -> ExperimentResult:
+def fig15(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 15: OASIS and OASIS-InMem vs all policies."""
     cfg = baseline_config()
-    rows, geo = speedup_table(cfg, apps or DEFAULT_APPS, ALL_POLICIES)
+    rows, geo = speedup_table(cfg, apps or DEFAULT_APPS, ALL_POLICIES,
+                              seed=seed)
     oasis = geo["oasis"]
     return ExperimentResult(
         "fig15", "Overall performance vs baseline on-touch (Fig. 15)",
@@ -288,7 +290,7 @@ def fig15(apps=None) -> ExperimentResult:
     )
 
 
-def fig16(apps=None) -> ExperimentResult:
+def fig16(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 16: sensitivity to the O-Table reset threshold."""
     thresholds = (4, 8, 32)
     apps = apps or DEFAULT_APPS
@@ -297,11 +299,11 @@ def fig16(apps=None) -> ExperimentResult:
     geos = {}
     speeds = {t: [] for t in thresholds}
     for app in apps:
-        base = run_sim(base_cfg, app, "on_touch")
+        base = run_sim(base_cfg, app, "on_touch", seed=seed)
         row = [app]
         for threshold in thresholds:
             cfg = base_cfg.replace(reset_threshold=threshold)
-            result = run_sim(cfg, app, "oasis")
+            result = run_sim(cfg, app, "oasis", seed=seed)
             s = result.speedup_over(base)
             row.append(s)
             speeds[threshold].append(s)
@@ -318,7 +320,7 @@ def fig16(apps=None) -> ExperimentResult:
     )
 
 
-def fig17(apps=None) -> ExperimentResult:
+def fig17(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 17: OASIS with 8 and 16 GPUs (workloads scaled per Table III)."""
     apps = apps or DEFAULT_APPS
     rows = []
@@ -327,8 +329,8 @@ def fig17(apps=None) -> ExperimentResult:
         cfg = baseline_config(n_gpus=n)
         speeds = []
         for app in apps:
-            base = run_sim(cfg, app, "on_touch")
-            result = run_sim(cfg, app, "oasis")
+            base = run_sim(cfg, app, "on_touch", seed=seed)
+            result = run_sim(cfg, app, "oasis", seed=seed)
             speeds.append(result.speedup_over(base))
         geos[n] = geomean(speeds)
         rows.extend(
@@ -343,12 +345,13 @@ def fig17(apps=None) -> ExperimentResult:
     )
 
 
-def fig18(apps=None) -> ExperimentResult:
+def fig18(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 18: large inputs (16-GPU footprints) on the 4-GPU system."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config()
     footprints = {a: float(APPLICATIONS[a].footprint_for(16)) for a in apps}
-    rows, geo = speedup_table(cfg, apps, ["oasis"], footprint_mb=footprints)
+    rows, geo = speedup_table(cfg, apps, ["oasis"], footprint_mb=footprints,
+                              seed=seed)
     return ExperimentResult(
         "fig18", "OASIS with large input sizes (Fig. 18)",
         ["app", "oasis"], rows,
@@ -357,11 +360,11 @@ def fig18(apps=None) -> ExperimentResult:
     )
 
 
-def fig19(apps=None) -> ExperimentResult:
+def fig19(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 19: OASIS with 2 MB pages (normalized to 2 MB on-touch)."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config(page_size=PAGE_SIZE_2M)
-    rows, geo = speedup_table(cfg, apps, ["oasis"])
+    rows, geo = speedup_table(cfg, apps, ["oasis"], seed=seed)
     return ExperimentResult(
         "fig19", "OASIS with 2 MB pages (Fig. 19)",
         ["app", "oasis"], rows,
@@ -372,7 +375,7 @@ def fig19(apps=None) -> ExperimentResult:
     )
 
 
-def fig20(apps=None) -> ExperimentResult:
+def fig20(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 20: page-type percentages with 4 KB vs 2 MB pages."""
     apps = apps or DEFAULT_APPS
     rows = []
@@ -407,11 +410,11 @@ def fig20(apps=None) -> ExperimentResult:
     )
 
 
-def fig21(apps=None) -> ExperimentResult:
+def fig21(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 21: distributed initial page placement."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config(initial_placement="distributed")
-    rows, geo = speedup_table(cfg, apps, ["oasis"])
+    rows, geo = speedup_table(cfg, apps, ["oasis"], seed=seed)
     return ExperimentResult(
         "fig21", "OASIS with distributed initial placement (Fig. 21)",
         ["app", "oasis"], rows,
@@ -421,15 +424,15 @@ def fig21(apps=None) -> ExperimentResult:
     )
 
 
-def fig22(apps=None) -> ExperimentResult:
+def fig22(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 22: OASIS normalized to GRIT."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config()
     rows = []
     speeds = []
     for app in apps:
-        grit = run_sim(cfg, app, "grit")
-        oasis = run_sim(cfg, app, "oasis")
+        grit = run_sim(cfg, app, "grit", seed=seed)
+        oasis = run_sim(cfg, app, "oasis", seed=seed)
         s = oasis.speedup_over(grit)
         rows.append([app, s])
         speeds.append(s)
@@ -444,14 +447,14 @@ def fig22(apps=None) -> ExperimentResult:
     )
 
 
-def fig23(apps=None) -> ExperimentResult:
+def fig23(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 23: policy distribution of L2-TLB-miss requests."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config()
     rows = []
     for app in apps:
         for policy in ("grit", "oasis"):
-            result = run_sim(cfg, app, policy)
+            result = run_sim(cfg, app, policy, seed=seed)
             mix = result.l2_miss_policy_mix()
             rows.append([
                 app, policy,
@@ -467,7 +470,7 @@ def fig23(apps=None) -> ExperimentResult:
     )
 
 
-def fig24(apps=None) -> ExperimentResult:
+def fig24(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 24: total GPU page faults under GRIT and OASIS."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config()
@@ -475,8 +478,8 @@ def fig24(apps=None) -> ExperimentResult:
     total_grit = 0.0
     total_oasis = 0.0
     for app in apps:
-        g = run_sim(cfg, app, "grit").total_faults
-        o = run_sim(cfg, app, "oasis").total_faults
+        g = run_sim(cfg, app, "grit", seed=seed).total_faults
+        o = run_sim(cfg, app, "oasis", seed=seed).total_faults
         total_grit += g
         total_oasis += o
         rows.append([app, int(g), int(o),
@@ -492,11 +495,11 @@ def fig24(apps=None) -> ExperimentResult:
     )
 
 
-def fig25(apps=None) -> ExperimentResult:
+def fig25(apps=None, seed: int = 0) -> ExperimentResult:
     """Fig. 25: 150% memory oversubscription."""
     apps = apps or DEFAULT_APPS
     cfg = baseline_config(oversubscription=1.5)
-    rows, geo = speedup_table(cfg, apps, ["oasis"])
+    rows, geo = speedup_table(cfg, apps, ["oasis"], seed=seed)
     return ExperimentResult(
         "fig25", "OASIS under 150% oversubscription (Fig. 25)",
         ["app", "oasis"], rows,
@@ -533,12 +536,24 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig25": fig25,
 }
 
+#: Experiments that run simulations and therefore respond to ``seed``
+#: (distinct workload traces of the same shape).  The rest — the tables
+#: and the Section IV characterization figures — are structural
+#: analyses of the default trace and are seed-invariant; multi-seed
+#: sweeps run them once.
+SEEDED_EXPERIMENTS = frozenset({
+    "fig2", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig21", "fig22", "fig23", "fig24", "fig25",
+})
 
-def run_experiment(exp_id: str, apps: list[str] | None = None) -> ExperimentResult:
+
+def run_experiment(
+    exp_id: str, apps: list[str] | None = None, seed: int = 0,
+) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"fig15"``)."""
     try:
         fn = EXPERIMENTS[exp_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ValueError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return fn(apps=apps)
+    return fn(apps=apps, seed=seed)

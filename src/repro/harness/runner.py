@@ -953,6 +953,7 @@ def speedup_table(
     baseline_config: SystemConfig | None = None,
     footprint_mb: dict[str, float] | None = None,
     jobs: int | None = None,
+    seed: int = 0,
 ) -> tuple[list[list], dict[str, float]]:
     """Speedups of each policy over the baseline, per app plus geomean.
 
@@ -966,6 +967,9 @@ def speedup_table(
         footprint_mb: optional per-app footprint override.
         jobs: pre-warm the caches with this many worker processes
             (defaults to the :func:`configure` value; 1 = serial).
+        seed: workload seed applied to every cell (baseline included),
+            so multi-seed sweeps measure run-to-run variance on distinct
+            but equally shaped traces.
 
     Returns:
         ``(rows, geomeans)`` where each row is
@@ -978,7 +982,7 @@ def speedup_table(
         requests = []
         for app in apps:
             mb = footprint_mb.get(app) if footprint_mb else None
-            extras = {"footprint_mb": mb}
+            extras = {"footprint_mb": mb, "seed": seed}
             requests.append((base_cfg, app, baseline, extras))
             for policy in policies:
                 requests.append((config, app, policy, extras))
@@ -987,10 +991,10 @@ def speedup_table(
     per_policy: dict[str, list[float]] = {p: [] for p in policies}
     for app in apps:
         mb = footprint_mb.get(app) if footprint_mb else None
-        base = run_sim(base_cfg, app, baseline, footprint_mb=mb)
+        base = run_sim(base_cfg, app, baseline, footprint_mb=mb, seed=seed)
         row: list = [app]
         for policy in policies:
-            result = run_sim(config, app, policy, footprint_mb=mb)
+            result = run_sim(config, app, policy, footprint_mb=mb, seed=seed)
             speedup = result.speedup_over(base)
             row.append(speedup)
             per_policy[policy].append(speedup)

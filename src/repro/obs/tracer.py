@@ -91,6 +91,12 @@ EVENT_KINDS = frozenset(
         "cluster_steal",  # one live job re-homed from a dead worker
         "cluster_steal_done",  # a dead worker's journal fully processed
         "cluster_steal_error",  # journal replay/compaction failed
+        "cluster_swallowed_error",  # shutdown-path error noted, not raised
+        # Artifact-pipeline lifecycle (pipeline track; wall-clock ns
+        # relative to pipeline start — see :mod:`repro.artifacts`).
+        "pipeline_experiment",  # one experiment finished (ok or failed)
+        "pipeline_skip",  # experiment already recorded by a prior run
+        "pipeline_error",  # experiment raised; pipeline continued
     }
 )
 

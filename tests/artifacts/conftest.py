@@ -1,0 +1,19 @@
+"""Artifact-pipeline test fixtures: sandbox the runner's global state.
+
+``run_pipeline`` reconfigures the process-wide harness (disk cache
+directory, memo, jobs); every test here must leave the runner exactly
+as the rest of the suite expects it — serial, no disk cache, no memo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import clear_cache, configure
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runner():
+    yield
+    configure(jobs=1, disk_cache=False, memo=False)
+    clear_cache()

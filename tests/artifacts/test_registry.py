@@ -1,0 +1,54 @@
+"""Benchmark-experiment discovery and id canonicalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import (
+    discover_experiments,
+    experiment_order,
+    normalize_exp_id,
+)
+from repro.harness import EXPERIMENTS, SEEDED_EXPERIMENTS
+
+
+def test_discovery_covers_every_registry_experiment():
+    # One bench_* module per registry entry: the pipeline's notion of
+    # "every experiment" and the harness's must never drift apart.
+    assert set(discover_experiments()) == set(EXPERIMENTS)
+
+
+def test_discovery_order_is_tables_then_figures():
+    order = experiment_order()
+    tables = [e for e in order if e.startswith("table")]
+    figures = [e for e in order if e.startswith("fig")]
+    assert order == tables + figures
+    assert tables == sorted(tables, key=lambda e: int(e[5:]))
+    assert figures == sorted(figures, key=lambda e: int(e[3:]))
+
+
+def test_discovery_metadata():
+    registry = discover_experiments()
+    fig2 = registry["fig2"]
+    assert fig2.kind == "fig" and fig2.number == 2
+    assert fig2.path.name.startswith("bench_fig02")
+    assert fig2.title  # first docstring line, parsed without importing
+    assert fig2.seeded == ("fig2" in SEEDED_EXPERIMENTS)
+    assert registry["table1"].seeded is False
+
+
+@pytest.mark.parametrize("raw, canonical", [
+    ("fig02", "fig2"),
+    ("fig2", "fig2"),
+    ("Fig15", "fig15"),
+    ("table1", "table1"),
+    ("TABLE01", "table1"),
+])
+def test_normalize_exp_id(raw, canonical):
+    assert normalize_exp_id(raw) == canonical
+
+
+@pytest.mark.parametrize("raw", ["fig1", "fig99", "bogus", ""])
+def test_normalize_rejects_unknown_ids(raw):
+    with pytest.raises(ValueError, match="unknown experiment"):
+        normalize_exp_id(raw)
